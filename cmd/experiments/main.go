@@ -1,0 +1,73 @@
+// Command experiments regenerates the paper-reproduction tables recorded
+// in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                  # run everything, full profile, plain text
+//	experiments -run E2,E4       # a subset
+//	experiments -quick           # the fast CI profile
+//	experiments -markdown        # GitHub-flavoured Markdown output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"regcast/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runIDs   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		quick    = flag.Bool("quick", false, "use the fast profile (smaller sweeps)")
+		markdown = flag.Bool("markdown", false, "emit Markdown instead of plain text")
+		seed     = flag.Uint64("seed", 1, "master seed")
+	)
+	flag.Parse()
+
+	var selected []experiments.Experiment
+	if *runIDs == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		if *markdown {
+			fmt.Printf("## %s — %s\n\n", e.ID, e.Title)
+			fmt.Printf("**Paper claim.** %s\n\n", e.PaperClaim)
+		} else {
+			fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+			fmt.Printf("paper claim: %s\n\n", e.PaperClaim)
+		}
+		tables, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, tb := range tables {
+			if *markdown {
+				fmt.Println(tb.Markdown())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+	}
+	return nil
+}

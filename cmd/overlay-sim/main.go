@@ -1,0 +1,79 @@
+// Command overlay-sim stress-tests the d-regular P2P overlay under churn
+// and reports its structural health over time: membership, degree
+// integrity, connectivity of snapshots, and spectral expansion drift.
+//
+// Usage:
+//
+//	overlay-sim -n 1024 -d 8 -rounds 200 -join 0.02 -leave 0.02 -mix 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regcast/internal/p2p/overlay"
+	"regcast/internal/spectral"
+	"regcast/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "overlay-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n      = flag.Int("n", 1024, "initial number of peers")
+		d      = flag.Int("d", 8, "overlay degree (must be even)")
+		rounds = flag.Int("rounds", 200, "churn rounds to simulate")
+		join   = flag.Float64("join", 0.02, "per-peer join probability per round")
+		leave  = flag.Float64("leave", 0.02, "per-peer leave probability per round")
+		mix    = flag.Int("mix", 10, "switch-chain steps per round")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		every  = flag.Int("report", 50, "report snapshot statistics every k rounds")
+	)
+	flag.Parse()
+
+	master := xrand.New(*seed)
+	ov, err := overlay.New(*n, *d, 4*(*n), master.Split())
+	if err != nil {
+		return err
+	}
+	ch, err := overlay.NewChurner(ov, *join, *leave, *mix, master.Split())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("overlay: n=%d d=%d, churn join=%.3f leave=%.3f, %d mix steps/round\n",
+		*n, *d, *join, *leave, *mix)
+	fmt.Println("round  alive  joins  leaves  connected  |λ2|/2√(d−1)")
+	for r := 1; r <= *rounds; r++ {
+		ch.Step(r)
+		if r%*every != 0 && r != *rounds {
+			continue
+		}
+		if err := ov.CheckInvariants(); err != nil {
+			return fmt.Errorf("round %d: invariant violated: %w", r, err)
+		}
+		snap, _, err := ov.Snapshot()
+		if err != nil {
+			return fmt.Errorf("round %d: snapshot: %w", r, err)
+		}
+		ratio := 0.0
+		connected := snap.IsConnected()
+		if connected {
+			l2, err := spectral.SecondEigenvalue(snap, 120, master.Split())
+			if err != nil {
+				return err
+			}
+			ratio = l2 / spectral.AlonBoppanaBound(*d)
+		}
+		fmt.Printf("%5d  %5d  %5d  %6d  %9v  %12.3f\n",
+			r, ov.AliveCount(), ch.Joins, ch.Leaves, connected, ratio)
+	}
+	fmt.Println("\nall structural invariants held (exact d-regularity through every join/leave)")
+	return nil
+}

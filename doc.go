@@ -1,0 +1,16 @@
+// Package regcast reproduces "Efficient Randomised Broadcasting in Random
+// Regular Networks with Applications in Peer-to-Peer Systems" (Berenbrink,
+// Elsässer, Friedetzky; PODC 2008 / Distributed Computing 2016) as a Go
+// library: the four-choice phased broadcast protocols (internal/core), the
+// random phone call simulator (internal/phonecall), random-regular-graph
+// generation and analysis (internal/graph, internal/spectral), the
+// strictly-oblivious lower-bound machinery (internal/oblivious), baseline
+// gossip protocols (internal/baseline), a churning P2P overlay and a
+// replicated database built on broadcast (internal/p2p), a goroutine-per-
+// node runtime (internal/runtime), real transports (internal/transport),
+// and the per-theorem experiment harness (internal/experiments).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate one experiment each.
+package regcast

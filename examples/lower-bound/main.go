@@ -1,0 +1,75 @@
+// Lower-bound demo (Theorem 1): in the standard one-choice phone call
+// model, every strictly oblivious O(log n)-time broadcast pays
+// Ω(n·log n / log d) transmissions — no matter how cleverly the push/pull
+// rounds are arranged. This example tries several schedule shapes on
+// G(n,d) and shows that none get below a constant fraction of the bound,
+// while the four-choice algorithm (a different model) changes the game.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regcast/internal/core"
+	"regcast/internal/graph"
+	"regcast/internal/oblivious"
+	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
+)
+
+func main() {
+	const n, d = 1 << 13, 8
+	master := xrand.New(21)
+	g, err := graph.RandomRegular(n, d, master.Split())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := oblivious.TransmissionBound(n, d)
+	fmt.Printf("G(%d,%d): Theorem 1 reference n·log₂n/log₂d = %.0f transmissions\n\n", n, d, bound)
+
+	horizon := 3 * 13 // 3·log₂ n rounds — the O(log n) budget
+	mk := func(s *oblivious.Schedule, err error) *oblivious.Schedule {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	schedules := []*oblivious.Schedule{
+		mk(oblivious.AlwaysPush(horizon)),
+		mk(oblivious.AlwaysBoth(horizon)),
+		mk(oblivious.PushThenPull(13, horizon)),
+		mk(oblivious.Alternating(horizon)),
+	}
+
+	for _, s := range schedules {
+		res, err := phonecall.Run(phonecall.Config{
+			Topology:  phonecall.NewStatic(g),
+			Protocol:  s,
+			RNG:       master.Split(),
+			StopEarly: true, // the cheapest accounting any schedule can claim
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s complete=%-5v tx=%8d  tx/bound=%.2f\n",
+			s.Name(), res.AllInformed, res.Transmissions,
+			float64(res.Transmissions)/bound)
+	}
+
+	four, err := core.New(n, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := phonecall.Run(phonecall.Config{
+		Topology: phonecall.NewStatic(g),
+		Protocol: four,
+		RNG:      master.Split(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s complete=%-5v tx=%8d  (outside the one-choice model: %d dials/round)\n",
+		four.Name(), res.AllInformed, res.Transmissions, four.Choices())
+	fmt.Println("\nEvery one-choice schedule sits at a constant fraction of the Ω-bound;")
+	fmt.Println("escaping it requires changing the model — the paper's four choices.")
+}

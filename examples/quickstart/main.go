@@ -1,0 +1,54 @@
+// Quickstart: broadcast one message on a random 8-regular graph with the
+// paper's four-choice algorithm and compare against the classic push
+// protocol — the headline result of the paper in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regcast/internal/baseline"
+	"regcast/internal/core"
+	"regcast/internal/graph"
+	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
+)
+
+func main() {
+	const n, d = 1 << 14, 8
+	master := xrand.New(42)
+
+	// A random d-regular topology, as a P2P overlay would maintain.
+	g, err := graph.RandomRegular(n, d, master.Split())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's protocol: four distinct dials per round, phased schedule.
+	fourChoice, err := core.New(n, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The baseline: one dial per round, push until done.
+	push, err := baseline.NewPush(n, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, proto := range []phonecall.Protocol{fourChoice, push} {
+		res, err := phonecall.Run(phonecall.Config{
+			Topology: phonecall.NewStatic(g),
+			Protocol: proto,
+			Source:   0,
+			RNG:      master.Split(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s informed %5d/%d in %2d rounds, %7d transmissions (%.1f per node)\n",
+			proto.Name(), res.Informed, n, res.FirstAllInformed,
+			res.Transmissions, float64(res.Transmissions)/float64(n))
+	}
+	fmt.Println("\nThe four-choice schedule pays O(log log n) transmissions per node;")
+	fmt.Println("push pays Θ(log n). The gap widens as n grows (see EXPERIMENTS.md, E2).")
+}

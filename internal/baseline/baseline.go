@@ -1,0 +1,159 @@
+// Package baseline implements the comparator protocols the paper measures
+// its contribution against: the standard push, pull, and combined
+// push&pull schedules of the random phone call model (Karp et al.), all
+// expressed in the same strictly oblivious Protocol interface as the
+// four-choice algorithm. A configurable choice count k turns the push
+// baseline into the k-choice ablation of experiment E10 (the paper's §5
+// open question: are four choices necessary?).
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"regcast/internal/phonecall"
+)
+
+// Push is the classical push schedule: every informed node pushes in every
+// round of the horizon. On complete graphs (and random regular graphs) it
+// needs Θ(log n) rounds and Θ(n·log n) transmissions.
+type Push struct {
+	k       int
+	horizon int
+	name    string
+}
+
+var (
+	_ phonecall.Protocol = (*Push)(nil)
+	_ phonecall.PullFree = (*Push)(nil)
+)
+
+// NewPush builds a push baseline for an estimated network size. The
+// horizon is ⌈c·log₂ n⌉ with c = 3, comfortably above the
+// log₂ n + ln n + O(1) completion time (Frieze & Grimmett, Pittel).
+func NewPush(nEstimate, k int) (*Push, error) {
+	if err := checkParams(nEstimate, k); err != nil {
+		return nil, err
+	}
+	h := horizonRounds(nEstimate, 3)
+	return &Push{k: k, horizon: h, name: fmt.Sprintf("push(k=%d)", k)}, nil
+}
+
+// Name implements phonecall.Protocol.
+func (p *Push) Name() string { return p.name }
+
+// Choices implements phonecall.Protocol.
+func (p *Push) Choices() int { return p.k }
+
+// Horizon implements phonecall.Protocol.
+func (p *Push) Horizon() int { return p.horizon }
+
+// SendPush implements phonecall.Protocol: all informed nodes push always.
+func (p *Push) SendPush(t, informedAt int) bool { return true }
+
+// SendPull implements phonecall.Protocol.
+func (p *Push) SendPull(t, informedAt int) bool { return false }
+
+// NeverPulls implements phonecall.PullFree.
+func (p *Push) NeverPulls() bool { return true }
+
+// Pull is the classical pull schedule: every informed node answers all its
+// callers in every round. Once half the graph is informed the uninformed
+// count squares down each round, but the opening phase is slow because the
+// source must wait to be dialled.
+type Pull struct {
+	k       int
+	horizon int
+	name    string
+}
+
+var _ phonecall.Protocol = (*Pull)(nil)
+
+// NewPull builds a pull baseline (horizon ⌈4·log₂ n⌉: the pull start-up
+// phase is slower than push's).
+func NewPull(nEstimate, k int) (*Pull, error) {
+	if err := checkParams(nEstimate, k); err != nil {
+		return nil, err
+	}
+	h := horizonRounds(nEstimate, 4)
+	return &Pull{k: k, horizon: h, name: fmt.Sprintf("pull(k=%d)", k)}, nil
+}
+
+// Name implements phonecall.Protocol.
+func (p *Pull) Name() string { return p.name }
+
+// Choices implements phonecall.Protocol.
+func (p *Pull) Choices() int { return p.k }
+
+// Horizon implements phonecall.Protocol.
+func (p *Pull) Horizon() int { return p.horizon }
+
+// SendPush implements phonecall.Protocol.
+func (p *Pull) SendPush(t, informedAt int) bool { return false }
+
+// SendPull implements phonecall.Protocol: all informed nodes pull always.
+func (p *Pull) SendPull(t, informedAt int) bool { return true }
+
+// PushPull is the combined schedule of Karp et al.: every informed node
+// both pushes and pulls for a fixed horizon of log₃ n + Θ(log log n)
+// rounds, after which the message "dies of old age" — the age-based
+// termination that gives O(n·log log n) transmissions on complete graphs.
+type PushPull struct {
+	k       int
+	horizon int
+	name    string
+}
+
+var _ phonecall.Protocol = (*PushPull)(nil)
+
+// NewPushPull builds the combined baseline. The horizon is
+// ⌈log₃ n⌉ + ⌈c·log₂ log₂ n⌉ with c = 2 (Karp et al.'s schedule shape:
+// the informed set saturates after ~log₃ n rounds and the quadratic pull
+// shrinkage finishes within O(log log n) more; every extra round costs up
+// to 2n transmissions, so the constant must stay small for the
+// O(n·log log n) bound to be visible at laptop scales).
+func NewPushPull(nEstimate, k int) (*PushPull, error) {
+	if err := checkParams(nEstimate, k); err != nil {
+		return nil, err
+	}
+	logN := math.Log2(float64(nEstimate))
+	logLogN := math.Log2(logN)
+	if logLogN < 1 {
+		logLogN = 1
+	}
+	h := int(math.Ceil(math.Log(float64(nEstimate))/math.Log(3))) + int(math.Ceil(2*logLogN))
+	return &PushPull{k: k, horizon: h, name: fmt.Sprintf("push-pull(k=%d)", k)}, nil
+}
+
+// Name implements phonecall.Protocol.
+func (p *PushPull) Name() string { return p.name }
+
+// Choices implements phonecall.Protocol.
+func (p *PushPull) Choices() int { return p.k }
+
+// Horizon implements phonecall.Protocol.
+func (p *PushPull) Horizon() int { return p.horizon }
+
+// SendPush implements phonecall.Protocol.
+func (p *PushPull) SendPush(t, informedAt int) bool { return true }
+
+// SendPull implements phonecall.Protocol.
+func (p *PushPull) SendPull(t, informedAt int) bool { return true }
+
+func checkParams(nEstimate, k int) error {
+	if nEstimate < 2 {
+		return fmt.Errorf("baseline: network size estimate %d too small", nEstimate)
+	}
+	if k < 1 {
+		return fmt.Errorf("baseline: choices k=%d must be >= 1", k)
+	}
+	return nil
+}
+
+func horizonRounds(nEstimate int, c float64) int {
+	h := int(math.Ceil(c * math.Log2(float64(nEstimate))))
+	if h < 4 {
+		h = 4
+	}
+	return h
+}

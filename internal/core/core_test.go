@@ -1,0 +1,377 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regcast/internal/graph"
+	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := NewAlgorithm1(2); err == nil {
+		t.Error("tiny n accepted")
+	}
+	if _, err := NewAlgorithm1(1024, WithAlpha(0)); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := NewAlgorithm1(1024, WithAlpha(-1)); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	p, err := NewAlgorithm1(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Variant() != Algorithm1 {
+		t.Errorf("variant %v", p.Variant())
+	}
+}
+
+func TestVariantSelection(t *testing.T) {
+	if _, err := New(1<<16, 4); err == nil {
+		t.Error("degree below five accepted for four-choice model")
+	}
+	small, err := New(1<<16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Variant() != Algorithm1 {
+		t.Errorf("d=6 selected %v, want Algorithm1", small.Variant())
+	}
+	large, err := New(1<<16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Variant() != Algorithm2 {
+		t.Errorf("d=16 selected %v, want Algorithm2", large.Variant())
+	}
+}
+
+func TestPhaseBoundariesAlgorithm1(t *testing.T) {
+	p, err := NewAlgorithm1(1<<10, WithAlpha(1), WithBeta(1)) // log n = 10, log log n ≈ 3.32
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2, pullEnd, horizon := p.PhaseBoundaries()
+	if t1 != 10 {
+		t.Errorf("T1 = %d, want 10", t1)
+	}
+	if t2 != 14 { // 10 + ceil(3.32)
+		t.Errorf("T2 = %d, want 14", t2)
+	}
+	if pullEnd != 15 {
+		t.Errorf("pullEnd = %d, want 15", pullEnd)
+	}
+	if horizon != 24 { // 2*10 + 4
+		t.Errorf("horizon = %d, want 24", horizon)
+	}
+}
+
+func TestPhaseBoundariesAlgorithm2(t *testing.T) {
+	p, err := NewAlgorithm2(1<<10, WithAlpha(1), WithBeta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2, pullEnd, horizon := p.PhaseBoundaries()
+	if t1 != 10 || t2 != 14 {
+		t.Errorf("T1=%d T2=%d", t1, t2)
+	}
+	if pullEnd != 18 { // T1 + 2*4
+		t.Errorf("pullEnd = %d, want 18", pullEnd)
+	}
+	if horizon != pullEnd {
+		t.Errorf("Algorithm 2 horizon %d != pullEnd %d", horizon, pullEnd)
+	}
+}
+
+func TestPhaseClassification(t *testing.T) {
+	p, err := NewAlgorithm1(1<<10, WithAlpha(1), WithBeta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, phase int }{
+		{0, 0}, {1, 1}, {10, 1}, {11, 2}, {14, 2}, {15, 3}, {16, 4}, {24, 4}, {25, 0},
+	}
+	for _, c := range cases {
+		if got := p.Phase(c.t); got != c.phase {
+			t.Errorf("Phase(%d) = %d, want %d", c.t, got, c.phase)
+		}
+	}
+}
+
+func TestSendPushPhase1OnlyNewlyInformed(t *testing.T) {
+	p, err := NewAlgorithm1(1<<10, WithAlpha(1), WithBeta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.SendPush(1, 0) {
+		t.Error("source should push in round 1")
+	}
+	if p.SendPush(2, 0) {
+		t.Error("source pushed twice in Phase 1")
+	}
+	if !p.SendPush(5, 4) {
+		t.Error("node informed in round 4 should push in round 5")
+	}
+	if p.SendPush(6, 4) {
+		t.Error("Phase 1 node pushed more than once")
+	}
+}
+
+func TestSendPushPhase2AllInformed(t *testing.T) {
+	p, err := NewAlgorithm1(1<<10, WithAlpha(1), WithBeta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ia := range []int{0, 3, 10, 12} {
+		if !p.SendPush(12, ia) { // round 12 is Phase 2... informedAt < t assumed
+			if ia < 12 {
+				t.Errorf("Phase 2: informedAt=%d did not push", ia)
+			}
+		}
+	}
+}
+
+func TestSendPullOnlyPhase3(t *testing.T) {
+	p, err := NewAlgorithm1(1<<10, WithAlpha(1), WithBeta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.SendPull(15, 0) {
+		t.Error("informed node must pull in Phase 3")
+	}
+	for _, tt := range []int{1, 10, 14, 16, 24} {
+		if p.SendPull(tt, 0) {
+			t.Errorf("pull outside Phase 3 at round %d", tt)
+		}
+	}
+}
+
+func TestSendPushPhase4OnlyActive(t *testing.T) {
+	p, err := NewAlgorithm1(1<<10, WithAlpha(1), WithBeta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes informed before Phase 3 (ia <= 14) are not active.
+	if p.SendPush(20, 0) || p.SendPush(20, 14) {
+		t.Error("pre-Phase-3 node pushed in Phase 4")
+	}
+	// Nodes informed in Phase 3 (ia = 15) or Phase 4 are active.
+	if !p.SendPush(20, 15) || !p.SendPush(20, 18) {
+		t.Error("active node did not push in Phase 4")
+	}
+}
+
+func TestAlgorithm2NoPhase4(t *testing.T) {
+	p, err := NewAlgorithm2(1<<10, WithAlpha(1), WithBeta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t2, pullEnd, _ := p.PhaseBoundaries()
+	for tt := t2 + 1; tt <= pullEnd; tt++ {
+		if p.SendPush(tt, 0) {
+			t.Errorf("Algorithm 2 pushed in pull phase at round %d", tt)
+		}
+		if !p.SendPull(tt, 0) {
+			t.Errorf("Algorithm 2 did not pull at round %d", tt)
+		}
+	}
+}
+
+func TestStrictObliviousnessProperty(t *testing.T) {
+	// Decisions must be pure functions of (t, informedAt): calling twice
+	// with identical inputs yields identical outputs (no hidden state).
+	p, err := NewAlgorithm1(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(tRaw, iaRaw uint16) bool {
+		tt := int(tRaw)%p.Horizon() + 1
+		ia := int(iaRaw) % tt
+		return p.SendPush(tt, ia) == p.SendPush(tt, ia) &&
+			p.SendPull(tt, ia) == p.SendPull(tt, ia)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcastCompletesSmallDegree(t *testing.T) {
+	const n, d = 1 << 10, 6
+	g, err := graph.RandomRegular(n, d, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewAlgorithm1(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	const reps = 5
+	for seed := uint64(0); seed < reps; seed++ {
+		res, err := phonecall.Run(phonecall.Config{
+			Topology: phonecall.NewStatic(g),
+			Protocol: p,
+			RNG:      xrand.New(seed),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllInformed {
+			failures++
+		}
+	}
+	if failures > 0 {
+		t.Errorf("Algorithm 1 failed %d/%d runs on G(%d,%d)", failures, reps, n, d)
+	}
+}
+
+func TestBroadcastCompletesLargeDegree(t *testing.T) {
+	const n = 1 << 10
+	d := 10 // ≈ log₂ n
+	g, err := graph.RandomRegular(n, d, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewAlgorithm2(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := phonecall.Run(phonecall.Config{
+		Topology: phonecall.NewStatic(g),
+		Protocol: p,
+		RNG:      xrand.New(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Errorf("Algorithm 2 informed %d/%d", res.Informed, res.AliveNodes)
+	}
+}
+
+func TestRobustToNEstimateError(t *testing.T) {
+	// The paper requires only a constant-factor estimate of n. Build the
+	// schedule for 4n and n/4 and check the broadcast still completes.
+	const n, d = 1 << 10, 6
+	g, err := graph.RandomRegular(n, d, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, est := range []int{n / 4, n * 4} {
+		p, err := NewAlgorithm1(est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := phonecall.Run(phonecall.Config{
+			Topology: phonecall.NewStatic(g),
+			Protocol: p,
+			RNG:      xrand.New(5),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllInformed {
+			t.Errorf("estimate %d: informed %d/%d", est, res.Informed, res.AliveNodes)
+		}
+	}
+}
+
+func TestTransmissionsWellBelowPushBaseline(t *testing.T) {
+	// The headline claim in miniature: four-choice transmissions per node
+	// should be well below log₂ n for moderate n (push pays ~log n).
+	const n, d = 1 << 12, 8
+	g, err := graph.RandomRegular(n, d, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewAlgorithm1(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := phonecall.Run(phonecall.Config{
+		Topology: phonecall.NewStatic(g),
+		Protocol: p,
+		RNG:      xrand.New(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatal("broadcast incomplete")
+	}
+	perNode := float64(res.Transmissions) / float64(n)
+	// α·4·log log n ≈ 2·4·3.6 ≈ 29 is the Phase-2 budget; log₂ n = 12 per
+	// node would be the push baseline's growth *rate* — the separation
+	// shows up as n grows (benched in E2); here we just sanity-bound.
+	if perNode > 60 {
+		t.Errorf("four-choice used %.1f transmissions/node, implausibly many", perNode)
+	}
+}
+
+func TestSequentialisedMapping(t *testing.T) {
+	base, err := NewAlgorithm1(1<<10, WithAlpha(1), WithBeta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewSequentialised(base)
+	if seq.Choices() != 1 {
+		t.Errorf("Choices = %d", seq.Choices())
+	}
+	if seq.Horizon() != 4*base.Horizon() {
+		t.Errorf("Horizon = %d, want %d", seq.Horizon(), 4*base.Horizon())
+	}
+	if seq.Memory() != 3 {
+		t.Errorf("Memory = %d", seq.Memory())
+	}
+	// Sequential rounds 1-4 map to base round 1: only the source pushes.
+	for tt := 1; tt <= 4; tt++ {
+		if !seq.SendPush(tt, 0) {
+			t.Errorf("source silent in sequential round %d", tt)
+		}
+	}
+	// A node informed in sequential round 2 (block 1) must stay silent for
+	// the rest of block 1 and push in block 2 (Phase 1: informed previous
+	// base round).
+	if seq.SendPush(4, 2) {
+		t.Error("node pushed within its own receipt block")
+	}
+	if !seq.SendPush(5, 2) {
+		t.Error("node silent in the block after receipt")
+	}
+}
+
+func TestSequentialisedBroadcastCompletes(t *testing.T) {
+	const n, d = 512, 6
+	g, err := graph.RandomRegular(n, d, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewAlgorithm1(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewSequentialised(base)
+	res, err := phonecall.Run(phonecall.Config{
+		Topology:    phonecall.NewStatic(g),
+		Protocol:    seq,
+		RNG:         xrand.New(9),
+		AvoidRecent: seq.Memory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Errorf("sequentialised run informed %d/%d", res.Informed, res.AliveNodes)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Algorithm1.String() != "algorithm1" || Algorithm2.String() != "algorithm2" {
+		t.Error("variant names wrong")
+	}
+	if Variant(9).String() == "" {
+		t.Error("unknown variant has empty name")
+	}
+}

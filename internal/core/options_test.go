@@ -1,0 +1,74 @@
+package core
+
+import "testing"
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := NewAlgorithm1(1024, WithBeta(0)); err == nil {
+		t.Error("beta=0 accepted")
+	}
+	if _, err := NewAlgorithm1(1024, WithBeta(-0.5)); err == nil {
+		t.Error("negative beta accepted")
+	}
+	if _, err := NewAlgorithm1(1024, WithChoices(0)); err == nil {
+		t.Error("choices=0 accepted")
+	}
+	p, err := NewAlgorithm1(1024, WithChoices(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Choices() != 2 {
+		t.Errorf("Choices = %d", p.Choices())
+	}
+}
+
+func TestPhase2FlooredAtOneRound(t *testing.T) {
+	// Even with a tiny beta the schedule keeps at least one full-push round.
+	p, err := NewAlgorithm1(1024, WithBeta(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2, _, _ := p.PhaseBoundaries()
+	if t2-t1 < 1 {
+		t.Errorf("Phase 2 has %d rounds", t2-t1)
+	}
+}
+
+func TestBetaControlsPhase2Length(t *testing.T) {
+	short, err := NewAlgorithm1(1<<10, WithAlpha(1), WithBeta(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := NewAlgorithm1(1<<10, WithAlpha(1), WithBeta(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, st2, _, _ := short.PhaseBoundaries()
+	_, lt2, _, _ := long.PhaseBoundaries()
+	if st2-st1 >= lt2-st1 {
+		t.Errorf("beta did not lengthen Phase 2: %d vs %d rounds", st2-st1, lt2-st1)
+	}
+}
+
+func TestSequentialisedWithNonDefaultChoices(t *testing.T) {
+	base, err := NewAlgorithm1(1<<10, WithChoices(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewSequentialised(base)
+	if seq.Memory() != 2 {
+		t.Errorf("Memory = %d, want 2 for k=3", seq.Memory())
+	}
+	if seq.Horizon() != 3*base.Horizon() {
+		t.Errorf("Horizon = %d, want %d", seq.Horizon(), 3*base.Horizon())
+	}
+}
+
+func TestNameMentionsChoices(t *testing.T) {
+	p, err := NewAlgorithm1(1024, WithChoices(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Name(); got[:1] != "3" {
+		t.Errorf("Name = %q, want it to lead with the choice count", got)
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"regcast/internal/graph"
+	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
+)
+
+// TestLargeScaleBroadcast exercises the engine and Algorithm 1 at a
+// quarter-million nodes — the scale the sequential engine is designed for.
+// Skipped under -short.
+func TestLargeScaleBroadcast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale run in -short mode")
+	}
+	const n, d = 1 << 18, 8
+	g, err := graph.RandomRegular(n, d, xrand.New(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewAlgorithm1(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := phonecall.Run(phonecall.Config{
+		Topology: phonecall.NewStatic(g),
+		Protocol: proto,
+		RNG:      xrand.New(81),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatalf("informed %d/%d at n=2^18", res.Informed, n)
+	}
+	perNode := float64(res.Transmissions) / float64(n)
+	// β=0.5 gives ⌈0.5·log₂ 18⌉ = 3 Phase 2 rounds here: 12 + 4 + 4 ≈ 20.
+	if perNode > 25 {
+		t.Errorf("%.1f tx/node at n=2^18 — loglog budget blown", perNode)
+	}
+	t.Logf("n=2^18: completed at round %d with %.1f tx/node", res.FirstAllInformed, perNode)
+}
+
+// BenchmarkAlgorithm1Broadcast measures a full Algorithm 1 run (graph
+// excluded) at n=2^14 — the engine's per-broadcast cost.
+func BenchmarkAlgorithm1Broadcast(b *testing.B) {
+	const n, d = 1 << 14, 8
+	g, err := graph.RandomRegular(n, d, xrand.New(82))
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := NewAlgorithm1(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := phonecall.Run(phonecall.Config{
+			Topology: phonecall.NewStatic(g),
+			Protocol: proto,
+			RNG:      xrand.New(uint64(i)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllInformed {
+			b.Fatal("incomplete")
+		}
+	}
+	b.ReportMetric(float64(n), "nodes")
+}

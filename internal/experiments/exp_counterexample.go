@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"regcast/internal/core"
+	"regcast/internal/graph"
+	"regcast/internal/table"
+	"regcast/internal/xrand"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E16",
+		Title: "§5 counterexample: Cartesian product with K5",
+		PaperClaim: "§5: on graphs with expansion and connectivity similar to G(n,d) the " +
+			"multiple-choice model may bring no notable improvement; the paper names the " +
+			"Cartesian product of a random regular graph with K5. Intuition: the four " +
+			"dials of a node in G□K5 frequently land inside its own K5 clique, so the " +
+			"extra choices buy far less fresh reach than on G(n,d).",
+		Run: runE16,
+	})
+}
+
+func runE16(o Options) ([]*table.Table, error) {
+	// Compare G(n/5, d)□K5 (degree d+4, 5·(n/5) nodes) against a plain
+	// random regular graph with the same node count and degree.
+	baseN := 1 << 12
+	if o.Quick {
+		baseN = 1 << 9
+	}
+	const d = 8
+	reps := repsFor(o)
+	n := 5 * baseN
+	master := xrand.New(o.Seed)
+
+	factor, err := regular(baseN, d, master.Split())
+	if err != nil {
+		return nil, err
+	}
+	k5, err := graph.Complete(5)
+	if err != nil {
+		return nil, err
+	}
+	product, err := graph.CartesianProduct(factor, k5)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := regular(n, d+4, master.Split())
+	if err != nil {
+		return nil, err
+	}
+
+	// The §5 claim is about the *gain from multiple choices* vanishing on
+	// the product graph, so measure k=1 vs k=4 on both topologies and
+	// compare the gains, plus the Phase 1 reach (per-round growth) that
+	// drives them.
+	tb := table.New(fmt.Sprintf("E16: choice-gain on G(%d,%d)□K5 vs G(%d,%d)", baseN, d, n, d+4),
+		"topology", "k", "rounds (mean)", "tx/n", "completed", "informed frac")
+	type cell struct{ rounds, tx float64 }
+	results := map[string]map[int]cell{}
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"G□K5", product}, {"G(n,d+4)", plain}} {
+		results[tc.name] = map[int]cell{}
+		for _, k := range []int{1, 4} {
+			proto, err := core.NewAlgorithm1(n, core.WithChoices(k))
+			if err != nil {
+				return nil, err
+			}
+			st, err := measure(tc.g, proto, master.Uint64(), reps, nil)
+			if err != nil {
+				return nil, err
+			}
+			results[tc.name][k] = cell{st.MeanRounds, st.MeanTxPerNode}
+			tb.AddRow(tc.name, k, f1(st.MeanRounds), f1(st.MeanTxPerNode),
+				pct(st.CompletedFrac), f3(st.InformedFrac))
+		}
+	}
+	gain := func(name string) float64 {
+		r := results[name]
+		if r[4].rounds == 0 {
+			return 0
+		}
+		return r[1].rounds / r[4].rounds
+	}
+	tb.AddNote("choice-gain (k=1 rounds / k=4 rounds): %.2f on G□K5 vs %.2f on G(n,d+4)", gain("G□K5"), gain("G(n,d+4)"))
+	tb.AddNote("in G□K5, 4/(d+4) of every node's stubs point into its own K5 clique (E[clique dials/round] = %.2f with k=4): locally clustered channels re-reach informed nodes", 16.0/float64(d+4))
+	tb.AddNote("§5 predicts the multi-choice advantage shrinks on clique-clustered graphs; the asymptotic Ω-effect on transmissions is not separable at this n — we report the finite-size gains as measured")
+	return []*table.Table{tb}, nil
+}

@@ -1,0 +1,151 @@
+// Package experiments defines one reproducible experiment per headline
+// statement of the paper — every theorem, phase-level lemma, and claimed
+// comparison has a registered entry that regenerates its result table (the
+// paper is theory-only, so these tables stand in for the tables/figures an
+// empirical evaluation section would carry; the DESIGN.md experiment index
+// maps each entry to the statement it validates).
+//
+// All experiments run in two profiles: Quick (used by `go test -bench` and
+// CI: smaller sweeps, fewer repetitions) and Full (used by
+// cmd/experiments to regenerate EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"regcast/internal/graph"
+	"regcast/internal/phonecall"
+	"regcast/internal/table"
+	"regcast/internal/xrand"
+)
+
+// Options selects the experiment profile.
+type Options struct {
+	// Seed drives all randomness of the experiment.
+	Seed uint64
+	// Quick shrinks sweeps and repetition counts for benches and CI.
+	Quick bool
+}
+
+// Experiment is one registered, reproducible measurement.
+type Experiment struct {
+	// ID is the experiment identifier used in DESIGN.md and EXPERIMENTS.md
+	// (E1, E2, ...).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// PaperClaim states what the paper predicts, for the report header.
+	PaperClaim string
+	// Run executes the experiment and returns its result tables.
+	Run func(o Options) ([]*table.Table, error)
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %s", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment ordered by numeric ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(out[i].ID, "E%d", &a)
+		fmt.Sscanf(out[j].ID, "E%d", &b)
+		return a < b
+	})
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// runStats aggregates repeated broadcast runs.
+type runStats struct {
+	Reps          int
+	MeanRounds    float64 // mean FirstAllInformed over completing runs
+	MeanTx        float64 // mean transmissions over all runs
+	MeanTxPerNode float64
+	CompletedFrac float64 // fraction of runs with AllInformed
+	InformedFrac  float64 // mean informed fraction over all runs
+}
+
+// measure runs proto on g for reps seeds derived from seed, applying mutate
+// (if non-nil) to each Config before running.
+func measure(g *graph.Graph, proto phonecall.Protocol, seed uint64, reps int, mutate func(*phonecall.Config)) (runStats, error) {
+	st := runStats{Reps: reps}
+	completed := 0
+	var roundsSum float64
+	master := xrand.New(seed)
+	for r := 0; r < reps; r++ {
+		cfg := phonecall.Config{
+			Topology: phonecall.NewStatic(g),
+			Protocol: proto,
+			Source:   master.IntN(g.NumNodes()),
+			RNG:      master.Split(),
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := phonecall.Run(cfg)
+		if err != nil {
+			return st, err
+		}
+		st.MeanTx += float64(res.Transmissions)
+		st.InformedFrac += float64(res.Informed) / float64(res.AliveNodes)
+		if res.AllInformed {
+			completed++
+			roundsSum += float64(res.FirstAllInformed)
+		}
+	}
+	st.MeanTx /= float64(reps)
+	st.MeanTxPerNode = st.MeanTx / float64(g.NumNodes())
+	st.InformedFrac /= float64(reps)
+	st.CompletedFrac = float64(completed) / float64(reps)
+	if completed > 0 {
+		st.MeanRounds = roundsSum / float64(completed)
+	}
+	return st, nil
+}
+
+// sizes returns the n-sweep for the profile.
+func sizes(o Options) []int {
+	if o.Quick {
+		return []int{1 << 9, 1 << 10, 1 << 11, 1 << 12}
+	}
+	return []int{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16}
+}
+
+// repsFor returns the repetition count for the profile.
+func repsFor(o Options) int {
+	if o.Quick {
+		return 3
+	}
+	return 5
+}
+
+// regular generates the experiment's standard topology.
+func regular(n, d int, rng *xrand.Rand) (*graph.Graph, error) {
+	g, err := graph.RandomRegular(n, d, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: G(%d,%d): %w", n, d, err)
+	}
+	return g, nil
+}
+
+func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.0f%%", 100*x) }

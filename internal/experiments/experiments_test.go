@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	// E1–E15 reproduce the paper's statements; E16+ are registered
+	// extensions (§5 counterexample, quasirandom dialing, ...).
+	if len(all) < 15 {
+		t.Fatalf("registry has %d experiments, want >= 15", len(all))
+	}
+	// IDs must be contiguous E1..E<len> so docs and benches stay in sync.
+	for i, e := range all {
+		wantID := "E" + itoa(i+1)
+		if e.ID != wantID {
+			t.Errorf("experiment %d has id %s, want %s", i, e.ID, wantID)
+		}
+		if e.Title == "" || e.PaperClaim == "" || e.Run == nil {
+			t.Errorf("%s is missing metadata", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Error("E1 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 found")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment in the Quick profile
+// and sanity-checks the emitted tables. This is the harness's integration
+// test; the scientific assertions live in EXPERIMENTS.md.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.Run(Options{Seed: 1, Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s table %q has no rows", e.ID, tb.Title)
+				}
+				out := tb.String()
+				if !strings.Contains(out, tb.Columns[0]) {
+					t.Errorf("%s table %q renders without headers", e.ID, tb.Title)
+				}
+				md := tb.Markdown()
+				if !strings.Contains(md, "| "+tb.Columns[0]) {
+					t.Errorf("%s table %q markdown broken", e.ID, tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism sweep in -short mode")
+	}
+	// A fixed seed must reproduce identical tables (E2 exercises graph
+	// generation, protocol runs and fitting).
+	e, ok := ByID("E2")
+	if !ok {
+		t.Fatal("E2 missing")
+	}
+	a, err := e.Run(Options{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(Options{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("table count differs")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("table %d differs between identical runs:\n%s\nvs\n%s", i, a[i], b[i])
+		}
+	}
+}

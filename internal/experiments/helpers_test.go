@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinomCoeff(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {16, 4, 1820}, {10, 3, 120},
+		{3, 4, 0}, {3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binomCoeff(c.n, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("C(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomTail(t *testing.T) {
+	// P[Bin(4, 0.5) >= 2] = (6+4+1)/16 = 0.6875.
+	if got := binomTail(4, 0.5, 2); math.Abs(got-0.6875) > 1e-12 {
+		t.Errorf("tail = %v, want 0.6875", got)
+	}
+	if binomTail(10, 0, 1) != 0 {
+		t.Error("p=0 tail nonzero")
+	}
+	if binomTail(10, 1, 1) != 1 {
+		t.Error("p=1 tail not 1")
+	}
+	// P[Bin(d,p) >= 0] = 1.
+	if got := binomTail(7, 0.3, 0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("tail at 0 = %v", got)
+	}
+	// Monotone decreasing in i.
+	prev := 2.0
+	for i := 0; i <= 8; i++ {
+		cur := binomTail(8, 0.4, i)
+		if cur > prev+1e-12 {
+			t.Fatalf("tail not monotone at i=%d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f1(1.26) != "1.3" || f2(1.267) != "1.27" || f3(1.2678) != "1.268" {
+		t.Error("float formatting broken")
+	}
+	if pct(0.5) != "50%" || pct(1) != "100%" {
+		t.Error("pct formatting broken")
+	}
+	if itoa(42) != "42" {
+		t.Error("itoa broken")
+	}
+}
+
+func TestSizesAndReps(t *testing.T) {
+	quick := sizes(Options{Quick: true})
+	full := sizes(Options{})
+	if len(quick) >= len(full) {
+		t.Error("quick profile not smaller")
+	}
+	if quick[len(quick)-1] >= full[len(full)-1] {
+		t.Error("quick profile max size not smaller")
+	}
+	if repsFor(Options{Quick: true}) >= repsFor(Options{}) {
+		t.Error("quick reps not smaller")
+	}
+}
+
+func TestPushConstantLimit(t *testing.T) {
+	// C_d decreases toward 1/ln2 + 1 ≈ 2.443 as d grows.
+	limit := 1/math.Ln2 + 1
+	if math.Abs(pushConstant(1<<20)-limit) > 0.01 {
+		t.Errorf("C_inf = %v, want ≈ %v", pushConstant(1<<20), limit)
+	}
+	if pushConstant(4) <= pushConstant(8) {
+		t.Error("C_d not decreasing in d")
+	}
+}

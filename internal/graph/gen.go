@@ -1,0 +1,296 @@
+package graph
+
+import (
+	"fmt"
+
+	"regcast/internal/xrand"
+)
+
+// ConfigurationModel generates a random d-regular multigraph by the pairing
+// model of §1.2: every node gets d stubs, the nd stubs are paired uniformly
+// at random, and each pair becomes an edge. Self-loops and parallel edges
+// may occur (the paper analyses exactly this process); use RandomRegular
+// for a simple graph.
+//
+// n*d must be even and d < n is required for a meaningful topology.
+func ConfigurationModel(n, d int, rng *xrand.Rand) (*Graph, error) {
+	if err := checkRegularParams(n, d); err != nil {
+		return nil, err
+	}
+	stubs := make([]int32, n*d)
+	for i := range stubs {
+		stubs[i] = int32(i / d)
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	edges := make([][2]int32, 0, n*d/2)
+	for i := 0; i < len(stubs); i += 2 {
+		edges = append(edges, [2]int32{stubs[i], stubs[i+1]})
+	}
+	return NewFromEdges(n, edges)
+}
+
+// RandomRegular generates a uniform-ish random simple d-regular graph using
+// the Steger–Wormald algorithm: stubs are paired one at a time, rejecting
+// pairs that would create a self-loop or parallel edge; if the process gets
+// stuck it restarts. For d = o(n^{1/3}) the resulting distribution is
+// asymptotically uniform and restarts are rare.
+func RandomRegular(n, d int, rng *xrand.Rand) (*Graph, error) {
+	if err := checkRegularParams(n, d); err != nil {
+		return nil, err
+	}
+	const maxRestarts = 1000
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		g, ok := tryStegerWormald(n, d, rng)
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d) failed after %d restarts", n, d, maxRestarts)
+}
+
+// tryStegerWormald performs one pass of the pairing-with-rejection process.
+// It returns ok=false if the process got stuck (only unsuitable pairs left).
+func tryStegerWormald(n, d int, rng *xrand.Rand) (*Graph, bool) {
+	// unmatched holds stub ids; stub s belongs to node s/d.
+	unmatched := make([]int32, n*d)
+	for i := range unmatched {
+		unmatched[i] = int32(i)
+	}
+	adjSet := make(map[int64]struct{}, n*d/2)
+	edgeKey := func(a, b int32) int64 {
+		if a > b {
+			a, b = b, a
+		}
+		return int64(a)<<32 | int64(b)
+	}
+	edges := make([][2]int32, 0, n*d/2)
+	// A pairing step may need several retries; bound total retries to detect
+	// the (rare) stuck state without an expensive suitability scan.
+	retryBudget := 50*n*d + 1000
+	for len(unmatched) > 0 {
+		i := rng.IntN(len(unmatched))
+		j := rng.IntN(len(unmatched))
+		if i == j {
+			continue
+		}
+		su, sv := unmatched[i], unmatched[j]
+		u, v := su/int32(d), sv/int32(d)
+		if u == v {
+			retryBudget--
+			if retryBudget <= 0 {
+				return nil, false
+			}
+			continue
+		}
+		if _, dup := adjSet[edgeKey(u, v)]; dup {
+			retryBudget--
+			if retryBudget <= 0 {
+				return nil, false
+			}
+			continue
+		}
+		adjSet[edgeKey(u, v)] = struct{}{}
+		edges = append(edges, [2]int32{u, v})
+		// Remove both stubs (remove the larger index first).
+		if i < j {
+			i, j = j, i
+		}
+		unmatched[i] = unmatched[len(unmatched)-1]
+		unmatched = unmatched[:len(unmatched)-1]
+		unmatched[j] = unmatched[len(unmatched)-1]
+		unmatched = unmatched[:len(unmatched)-1]
+	}
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		return nil, false
+	}
+	return g, true
+}
+
+// ErasedConfigurationModel runs the pairing model and then erases
+// self-loops and collapses parallel edges, producing a simple graph whose
+// degrees are at most d (and typically d for all but O(1) nodes).
+func ErasedConfigurationModel(n, d int, rng *xrand.Rand) (*Graph, error) {
+	g, err := ConfigurationModel(n, d, rng)
+	if err != nil {
+		return nil, err
+	}
+	type pair struct{ a, b int32 }
+	seen := make(map[pair]struct{})
+	var edges [][2]int32
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) <= v { // skip loops (w==v) and count each pair once
+				continue
+			}
+			p := pair{int32(v), w}
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+			edges = append(edges, [2]int32{int32(v), w})
+		}
+	}
+	return NewFromEdges(n, edges)
+}
+
+// Gnp generates an Erdős–Rényi random graph G(n,p) using geometric skipping
+// so the cost is proportional to the number of edges, not n².
+func Gnp(n int, p float64, rng *xrand.Rand) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: Gnp n=%d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: Gnp p=%v out of [0,1]", p)
+	}
+	var edges [][2]int32
+	if p > 0 {
+		if p == 1 {
+			for v := 0; v < n; v++ {
+				for w := v + 1; w < n; w++ {
+					edges = append(edges, [2]int32{int32(v), int32(w)})
+				}
+			}
+		} else {
+			// Iterate over the n*(n-1)/2 potential edges in lexicographic
+			// order, skipping a Geometric(p) count between successive edges.
+			v, w := 0, 0 // current position; w <= v means row finished
+			advance := func(steps int) bool {
+				for steps > 0 && v < n {
+					rowLeft := n - 1 - w
+					if steps <= rowLeft {
+						w += steps
+						return true
+					}
+					steps -= rowLeft
+					v++
+					w = v
+				}
+				return v < n
+			}
+			w = 0
+			v = 0
+			if !advance(1 + rng.Geometric(p)) {
+				return buildGnp(n, edges)
+			}
+			for {
+				edges = append(edges, [2]int32{int32(v), int32(w)})
+				if !advance(1 + rng.Geometric(p)) {
+					break
+				}
+			}
+		}
+	}
+	return buildGnp(n, edges)
+}
+
+func buildGnp(n int, edges [][2]int32) (*Graph, error) {
+	return NewFromEdges(n, edges)
+}
+
+// Ring returns the cycle graph C_n.
+func Ring(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: Ring needs n >= 3, got %d", n)
+	}
+	edges := make([][2]int32, n)
+	for v := 0; v < n; v++ {
+		edges[v] = [2]int32{int32(v), int32((v + 1) % n)}
+	}
+	return NewFromEdges(n, edges)
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: Complete needs n >= 1, got %d", n)
+	}
+	var edges [][2]int32
+	for v := 0; v < n; v++ {
+		for w := v + 1; w < n; w++ {
+			edges = append(edges, [2]int32{int32(v), int32(w)})
+		}
+	}
+	return NewFromEdges(n, edges)
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim nodes.
+func Hypercube(dim int) (*Graph, error) {
+	if dim < 1 || dim > 30 {
+		return nil, fmt.Errorf("graph: Hypercube dim=%d out of [1,30]", dim)
+	}
+	n := 1 << dim
+	var edges [][2]int32
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			w := v ^ (1 << b)
+			if w > v {
+				edges = append(edges, [2]int32{int32(v), int32(w)})
+			}
+		}
+	}
+	return NewFromEdges(n, edges)
+}
+
+// Torus returns the rows×cols 2D torus (4-regular when rows, cols >= 3).
+func Torus(rows, cols int) (*Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: Torus needs rows, cols >= 3, got %d×%d", rows, cols)
+	}
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	var edges [][2]int32
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			edges = append(edges,
+				[2]int32{id(r, c), id(r, (c+1)%cols)},
+				[2]int32{id(r, c), id((r+1)%rows, c)},
+			)
+		}
+	}
+	return NewFromEdges(rows*cols, edges)
+}
+
+// CartesianProduct returns the Cartesian product g □ h: nodes are pairs
+// (u, x); (u,x)~(v,x) when u~v in g, and (u,x)~(u,y) when x~y in h. The
+// paper's §5 counterexample is the product of a random regular graph with
+// K5. Both factors must be simple.
+func CartesianProduct(g, h *Graph) (*Graph, error) {
+	if !g.IsSimple() || !h.IsSimple() {
+		return nil, fmt.Errorf("graph: CartesianProduct requires simple factors")
+	}
+	ng, nh := g.NumNodes(), h.NumNodes()
+	id := func(u, x int) int32 { return int32(u*nh + x) }
+	var edges [][2]int32
+	for u := 0; u < ng; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				for x := 0; x < nh; x++ {
+					edges = append(edges, [2]int32{id(u, x), id(int(v), x)})
+				}
+			}
+		}
+	}
+	for x := 0; x < nh; x++ {
+		for _, y := range h.Neighbors(x) {
+			if int(y) > x {
+				for u := 0; u < ng; u++ {
+					edges = append(edges, [2]int32{id(u, x), id(u, int(y))})
+				}
+			}
+		}
+	}
+	return NewFromEdges(ng*nh, edges)
+}
+
+func checkRegularParams(n, d int) error {
+	if n <= 0 || d <= 0 {
+		return fmt.Errorf("graph: invalid regular-graph parameters n=%d d=%d", n, d)
+	}
+	if d >= n {
+		return fmt.Errorf("graph: degree d=%d must be < n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return fmt.Errorf("graph: n*d must be even, got n=%d d=%d", n, d)
+	}
+	return nil
+}

@@ -1,0 +1,426 @@
+// Package graph provides the undirected-graph substrate for the broadcast
+// simulator: a compact immutable CSR representation, the configuration
+// (pairing) model generator for random d-regular graphs exactly as defined
+// in §1.2 of Berenbrink, Elsässer & Friedetzky, reference topologies used in
+// tests and comparisons, and the structural queries (connectivity, edge
+// cuts, degree census) the analysis relies on.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected (multi)graph in compressed sparse row
+// form. Self-loops and parallel edges are representable: a self-loop (v,v)
+// contributes two entries to v's adjacency list (both endpoints of the
+// edge), matching the stub semantics of the configuration model.
+type Graph struct {
+	offsets []int32 // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []int32
+}
+
+// NewFromAdjacency builds a Graph from adjacency lists. The lists must be
+// symmetric: an edge (v,w) must appear in both adj[v] and adj[w] (twice in
+// adj[v] if v == w). Symmetry is validated.
+func NewFromAdjacency(adj [][]int32) (*Graph, error) {
+	n := len(adj)
+	g := &Graph{offsets: make([]int32, n+1)}
+	total := 0
+	for v, nb := range adj {
+		total += len(nb)
+		g.offsets[v+1] = g.offsets[v] + int32(len(nb))
+	}
+	g.adj = make([]int32, 0, total)
+	for v, nb := range adj {
+		for _, w := range nb {
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: node %d has out-of-range neighbour %d", v, w)
+			}
+			g.adj = append(g.adj, w)
+		}
+	}
+	if err := g.checkSymmetry(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// NewFromEdges builds a Graph on n nodes from an undirected edge list.
+// Each pair contributes one entry to both endpoints' adjacency lists
+// (two entries to the list of v for a self-loop (v,v)).
+func NewFromEdges(n int, edges [][2]int32) (*Graph, error) {
+	deg := make([]int32, n)
+	for _, e := range edges {
+		for _, v := range e {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("graph: edge endpoint %d out of range [0,%d)", v, n)
+			}
+		}
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	g := &Graph{offsets: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		g.offsets[v+1] = g.offsets[v] + deg[v]
+	}
+	g.adj = make([]int32, g.offsets[n])
+	cursor := make([]int32, n)
+	copy(cursor, g.offsets[:n])
+	for _, e := range edges {
+		g.adj[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+		g.adj[cursor[e[1]]] = e[0]
+		cursor[e[1]]++
+	}
+	return g, nil
+}
+
+// checkSymmetry verifies that every (v,w) entry has a matching (w,v) entry.
+func (g *Graph) checkSymmetry() error {
+	n := g.NumNodes()
+	// Count directed entries per unordered pair and compare.
+	type pair struct{ a, b int32 }
+	counts := make(map[pair]int, len(g.adj))
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			a, b := int32(v), w
+			if a > b {
+				a, b = b, a
+			}
+			counts[pair{a, b}]++
+		}
+	}
+	for p, c := range counts {
+		if p.a == p.b {
+			if c%2 != 0 {
+				return fmt.Errorf("graph: self-loop at %d has odd stub count %d", p.a, c)
+			}
+			continue
+		}
+		if c%2 != 0 {
+			return fmt.Errorf("graph: asymmetric edge (%d,%d)", p.a, p.b)
+		}
+	}
+	return nil
+}
+
+// NumNodes returns the number of vertices.
+func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of undirected edges (self-loops count once).
+func (g *Graph) NumEdges() int { return len(g.adj) / 2 }
+
+// Degree returns the degree of v (a self-loop contributes 2).
+func (g *Graph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbor returns the i-th neighbour of v (0 <= i < Degree(v)).
+func (g *Graph) Neighbor(v, i int) int {
+	return int(g.adj[g.offsets[v]+int32(i)])
+}
+
+// Neighbors returns v's adjacency slice. The caller must not modify it.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// MinDegree returns the smallest degree, or 0 for an empty graph.
+func (g *Graph) MinDegree() int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	m := g.Degree(0)
+	for v := 1; v < n; v++ {
+		if d := g.Degree(v); d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MaxDegree returns the largest degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// IsRegular reports whether all nodes have degree d.
+func (g *Graph) IsRegular(d int) bool {
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(v) != d {
+			return false
+		}
+	}
+	return true
+}
+
+// DegreeSequence returns the multiset of degrees in non-increasing order.
+func (g *Graph) DegreeSequence() []int {
+	ds := make([]int, g.NumNodes())
+	for v := range ds {
+		ds[v] = g.Degree(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	return ds
+}
+
+// SelfLoopCount returns the number of self-loop edges.
+func (g *Graph) SelfLoopCount() int {
+	loops := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) == v {
+				loops++
+			}
+		}
+	}
+	return loops / 2 // each loop contributes two stub entries at v
+}
+
+// MultiEdgeCount returns the number of surplus parallel edges: for every
+// unordered pair {v,w}, v != w, with k >= 2 parallel edges it adds k-1.
+func (g *Graph) MultiEdgeCount() int {
+	surplus := 0
+	seen := make(map[int64]int)
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) <= v { // count each unordered pair once, skip loops
+				continue
+			}
+			key := int64(v)<<32 | int64(w)
+			seen[key]++
+		}
+	}
+	for _, k := range seen {
+		if k >= 2 {
+			surplus += k - 1
+		}
+	}
+	return surplus
+}
+
+// IsSimple reports whether the graph has no self-loops and no parallel edges.
+func (g *Graph) IsSimple() bool {
+	return g.SelfLoopCount() == 0 && g.MultiEdgeCount() == 0
+}
+
+// ConnectedComponents returns, for every node, the id of its component
+// (ids are dense, starting at 0) together with the number of components.
+func (g *Graph) ConnectedComponents() (comp []int32, count int) {
+	n := g.NumNodes()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[start] = id
+		queue = append(queue[:0], int32(start))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(int(v)) {
+				if comp[w] < 0 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// IsConnected reports whether the graph is connected (an empty graph is
+// considered connected).
+func (g *Graph) IsConnected() bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	_, c := g.ConnectedComponents()
+	return c == 1
+}
+
+// BFSDistances returns hop distances from src (-1 for unreachable nodes).
+func (g *Graph) BFSDistances(src int) []int32 {
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum finite BFS distance from src and whether
+// all nodes were reachable.
+func (g *Graph) Eccentricity(src int) (ecc int, allReachable bool) {
+	allReachable = true
+	for _, d := range g.BFSDistances(src) {
+		if d < 0 {
+			allReachable = false
+			continue
+		}
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc, allReachable
+}
+
+// DiameterExact computes the exact diameter by running a BFS from every
+// node; it is O(n·m) and intended for small graphs. It returns an error if
+// the graph is disconnected or empty.
+func (g *Graph) DiameterExact() (int, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, fmt.Errorf("graph: diameter of empty graph")
+	}
+	diam := 0
+	for v := 0; v < n; v++ {
+		ecc, ok := g.Eccentricity(v)
+		if !ok {
+			return 0, fmt.Errorf("graph: diameter of disconnected graph")
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, nil
+}
+
+// DiameterLowerBound estimates the diameter with a double BFS sweep: BFS
+// from src to the farthest node u, then BFS from u. The result is a lower
+// bound on (and in practice close to) the true diameter.
+func (g *Graph) DiameterLowerBound(src int) (int, error) {
+	if g.NumNodes() == 0 {
+		return 0, fmt.Errorf("graph: diameter of empty graph")
+	}
+	dist := g.BFSDistances(src)
+	far, best := src, int32(0)
+	for v, d := range dist {
+		if d < 0 {
+			return 0, fmt.Errorf("graph: diameter of disconnected graph")
+		}
+		if d > best {
+			best = d
+			far = v
+		}
+	}
+	ecc, _ := g.Eccentricity(far)
+	return ecc, nil
+}
+
+// EdgesBetween counts edges with exactly one endpoint in the set marked by
+// inSet (|E(S, V\S)| in the paper's notation). Self-loops never cross.
+func (g *Graph) EdgesBetween(inSet []bool) int {
+	if len(inSet) != g.NumNodes() {
+		panic(fmt.Sprintf("graph: EdgesBetween mask length %d != n %d", len(inSet), g.NumNodes()))
+	}
+	cut := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if !inSet[v] {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if !inSet[w] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// EdgesWithin counts edges with both endpoints in the set marked by inSet
+// (self-loops count once).
+func (g *Graph) EdgesWithin(inSet []bool) int {
+	if len(inSet) != g.NumNodes() {
+		panic(fmt.Sprintf("graph: EdgesWithin mask length %d != n %d", len(inSet), g.NumNodes()))
+	}
+	stubs := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if !inSet[v] {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if inSet[w] {
+				stubs++
+			}
+		}
+	}
+	return stubs / 2
+}
+
+// NeighborsInSet returns how many of v's incident stubs lead into the set.
+func (g *Graph) NeighborsInSet(v int, inSet []bool) int {
+	c := 0
+	for _, w := range g.Neighbors(v) {
+		if inSet[w] {
+			c++
+		}
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by the nodes with keep[v]
+// true, along with the mapping from new ids to original ids.
+func (g *Graph) InducedSubgraph(keep []bool) (*Graph, []int32, error) {
+	if len(keep) != g.NumNodes() {
+		return nil, nil, fmt.Errorf("graph: InducedSubgraph mask length %d != n %d", len(keep), g.NumNodes())
+	}
+	newID := make([]int32, g.NumNodes())
+	var orig []int32
+	for v := range newID {
+		newID[v] = -1
+		if keep[v] {
+			newID[v] = int32(len(orig))
+			orig = append(orig, int32(v))
+		}
+	}
+	adj := make([][]int32, len(orig))
+	for newV, oldV := range orig {
+		for _, w := range g.Neighbors(int(oldV)) {
+			if keep[w] {
+				adj[newV] = append(adj[newV], newID[w])
+			}
+		}
+	}
+	sub, err := NewFromAdjacency(adj)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, orig, nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	return &Graph{
+		offsets: append([]int32(nil), g.offsets...),
+		adj:     append([]int32(nil), g.adj...),
+	}
+}

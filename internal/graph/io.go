@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format (undirected; parallel
+// edges and self-loops appear as repeated lines).
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "G"
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %s {\n", sanitizeDOTName(name))
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, nb := range g.Neighbors(v) {
+			if int(nb) < v {
+				continue // each undirected edge once; loops kept at v == nb/2 pairs
+			}
+			if int(nb) == v {
+				// A self-loop occupies two stub entries; emit one line per
+				// pair.
+				continue
+			}
+			fmt.Fprintf(bw, "  %d -- %d;\n", v, nb)
+		}
+		// Emit self-loops: two stub entries per loop.
+		loops := 0
+		for _, nb := range g.Neighbors(v) {
+			if int(nb) == v {
+				loops++
+			}
+		}
+		for l := 0; l < loops/2; l++ {
+			fmt.Fprintf(bw, "  %d -- %d;\n", v, v)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// sanitizeDOTName keeps DOT identifiers to a safe alphabet.
+func sanitizeDOTName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "G"
+	}
+	return b.String()
+}
+
+// WriteEdgeList writes a plain-text representation: the first line is
+// "n m", followed by one "u v" line per undirected edge. Self-loops appear
+// as "v v". The format round-trips through ReadEdgeList.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", g.NumNodes(), g.NumEdges())
+	for v := 0; v < g.NumNodes(); v++ {
+		skipSelf := 0
+		for _, nb := range g.Neighbors(v) {
+			switch {
+			case int(nb) > v:
+				fmt.Fprintf(bw, "%d %d\n", v, nb)
+			case int(nb) == v:
+				// Two stubs per loop: emit every second occurrence.
+				skipSelf++
+				if skipSelf%2 == 0 {
+					fmt.Fprintf(bw, "%d %d\n", v, v)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var n, m int
+	if _, err := fmt.Fscan(br, &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: invalid header n=%d m=%d", n, m)
+	}
+	edges := make([][2]int32, 0, m)
+	for i := 0; i < m; i++ {
+		var u, v int32
+		if _, err := fmt.Fscan(br, &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d/%d: %w", i+1, m, err)
+		}
+		edges = append(edges, [2]int32{u, v})
+	}
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"regcast/internal/xrand"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g, err := NewFromEdges(3, [][2]int32{{0, 1}, {1, 2}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "test graph!"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph test_graph_ {") {
+		t.Errorf("bad header: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	for _, want := range []string{"0 -- 1;", "1 -- 2;", "2 -- 2;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("missing closing brace")
+	}
+}
+
+func TestWriteDOTEmptyName(t *testing.T) {
+	g, err := Complete(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph G {") {
+		t.Error("default name not applied")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := RandomRegular(64, 6, xrand.New(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip lost shape: n %d→%d m %d→%d",
+			g.NumNodes(), back.NumNodes(), g.NumEdges(), back.NumEdges())
+	}
+	// Degrees must match exactly (edge multiset preserved).
+	for v := 0; v < g.NumNodes(); v++ {
+		if back.Degree(v) != g.Degree(v) {
+			t.Fatalf("degree of %d changed: %d → %d", v, g.Degree(v), back.Degree(v))
+		}
+	}
+}
+
+func TestEdgeListRoundTripWithLoopsAndMultiEdges(t *testing.T) {
+	g, err := NewFromEdges(3, [][2]int32{{0, 0}, {0, 1}, {0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SelfLoopCount() != 1 {
+		t.Errorf("loops %d, want 1", back.SelfLoopCount())
+	}
+	if back.MultiEdgeCount() != 1 {
+		t.Errorf("multi-edges %d, want 1", back.MultiEdgeCount())
+	}
+	if back.Degree(0) != g.Degree(0) {
+		t.Errorf("degree(0) %d → %d", g.Degree(0), back.Degree(0))
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("-1 0\n")); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("3 2\n0 1\n")); err == nil {
+		t.Error("truncated edge list accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("2 1\n0 5\n")); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}

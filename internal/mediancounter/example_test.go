@@ -1,0 +1,32 @@
+package mediancounter_test
+
+import (
+	"fmt"
+	"log"
+
+	"regcast/internal/graph"
+	"regcast/internal/mediancounter"
+	"regcast/internal/xrand"
+)
+
+// Example spreads a rumour with the self-terminating median-counter
+// protocol: no horizon is configured — the nodes detect staleness locally
+// and go quiet on their own.
+func Example() {
+	g, err := graph.RandomRegular(1024, 8, xrand.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mediancounter.Run(mediancounter.Config{
+		Graph: g,
+		RNG:   xrand.New(2),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("everyone informed:", res.AllInformed)
+	fmt.Println("went quiet on its own:", res.QuietAt > 0)
+	// Output:
+	// everyone informed: true
+	// went quiet on its own: true
+}

@@ -1,0 +1,352 @@
+// Package overlay implements the dynamic d-regular peer-to-peer topology
+// that motivates the paper: a random-regular-like overlay maintained under
+// churn by local edge operations. Joins splice the new peer into d/2
+// random edges (preserving exact d-regularity), leaves re-pair the
+// departing peer's neighbours, and a switch-chain Mix step (random 2-edge
+// swaps, as in Cooper–Dyer–Greenhill) keeps the topology close to a
+// uniform random d-regular (multi)graph.
+//
+// Overlay implements phonecall.Topology, and Churner implements
+// phonecall.Stepper, so the broadcast engine runs on a churning overlay
+// unchanged (experiment E13).
+package overlay
+
+import (
+	"fmt"
+
+	"regcast/internal/graph"
+	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
+)
+
+// Overlay is a mutable d-regular multigraph with an alive/dead node set.
+// Node ids are stable; departed ids are recycled by later joins.
+type Overlay struct {
+	d        int
+	adj      [][]int32
+	alive    []bool
+	aliveCnt int
+	rng      *xrand.Rand
+	freeIDs  []int32
+}
+
+var _ phonecall.Topology = (*Overlay)(nil)
+
+// New builds an overlay of n alive peers of even degree d, with headroom
+// spare slots for future joins, seeded from an exact random d-regular
+// graph.
+func New(n, d, headroom int, rng *xrand.Rand) (*Overlay, error) {
+	if d%2 != 0 {
+		return nil, fmt.Errorf("overlay: degree %d must be even (joins splice d/2 edges)", d)
+	}
+	if d < 4 {
+		return nil, fmt.Errorf("overlay: degree %d too small", d)
+	}
+	if headroom < 0 {
+		return nil, fmt.Errorf("overlay: negative headroom %d", headroom)
+	}
+	if n <= d {
+		return nil, fmt.Errorf("overlay: need n > d, got n=%d d=%d", n, d)
+	}
+	g, err := graph.RandomRegular(n, d, rng)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: seeding topology: %w", err)
+	}
+	o := &Overlay{
+		d:        d,
+		adj:      make([][]int32, n+headroom),
+		alive:    make([]bool, n+headroom),
+		aliveCnt: n,
+		rng:      rng,
+	}
+	for v := 0; v < n; v++ {
+		o.adj[v] = append([]int32(nil), g.Neighbors(v)...)
+		o.alive[v] = true
+	}
+	for v := n + headroom - 1; v >= n; v-- {
+		o.freeIDs = append(o.freeIDs, int32(v))
+	}
+	return o, nil
+}
+
+// NumNodes implements phonecall.Topology (id-space size incl. dead slots).
+func (o *Overlay) NumNodes() int { return len(o.adj) }
+
+// AliveCount returns the number of participating peers.
+func (o *Overlay) AliveCount() int { return o.aliveCnt }
+
+// TargetDegree returns d.
+func (o *Overlay) TargetDegree() int { return o.d }
+
+// Degree implements phonecall.Topology.
+func (o *Overlay) Degree(v int) int { return len(o.adj[v]) }
+
+// Neighbor implements phonecall.Topology.
+func (o *Overlay) Neighbor(v, i int) int { return int(o.adj[v][i]) }
+
+// Alive implements phonecall.Topology.
+func (o *Overlay) Alive(v int) bool { return o.alive[v] }
+
+// Join splices a new peer into the overlay and returns its id. The new
+// peer takes over d/2 randomly chosen existing edges (u,w), replacing each
+// with the pair (u,new),(w,new); all degrees stay exactly d.
+func (o *Overlay) Join() (int, error) {
+	if len(o.freeIDs) == 0 {
+		return -1, fmt.Errorf("overlay: no free slots (capacity %d)", len(o.adj))
+	}
+	if o.aliveCnt <= o.d {
+		return -1, fmt.Errorf("overlay: too few peers (%d) to splice a join", o.aliveCnt)
+	}
+	id := int(o.freeIDs[len(o.freeIDs)-1])
+	o.freeIDs = o.freeIDs[:len(o.freeIDs)-1]
+
+	for i := 0; i < o.d/2; i++ {
+		u, w := o.randomEdge()
+		if u == id || int(w) == id {
+			// Don't splice an edge created by an earlier iteration of this
+			// very join: that would give the newcomer a self-loop.
+			i--
+			continue
+		}
+		o.removeEdge(u, w)
+		o.addEdge(u, int32(id))
+		o.addEdge(int(w), int32(id))
+	}
+	o.alive[id] = true
+	o.aliveCnt++
+	return id, nil
+}
+
+// Leave removes peer v. Its d dangling stubs are re-paired at random:
+// neighbours (n1,n2), (n3,n4), ... get joined directly, so every remaining
+// degree is preserved (self-loops can arise and are represented as two
+// stub entries, exactly as in the configuration model).
+func (o *Overlay) Leave(v int) error {
+	if v < 0 || v >= len(o.adj) || !o.alive[v] {
+		return fmt.Errorf("overlay: Leave(%d): not an alive peer", v)
+	}
+	if o.aliveCnt <= o.d+1 {
+		return fmt.Errorf("overlay: refusing to shrink below d+1 peers")
+	}
+	// Collect dangling stubs, dropping v's own self-loops entirely.
+	dangling := make([]int32, 0, len(o.adj[v]))
+	for _, w := range o.adj[v] {
+		if int(w) != v {
+			dangling = append(dangling, w)
+		}
+	}
+	// Remove v from each neighbour's list (one instance per stub).
+	for _, w := range dangling {
+		o.removeDirected(int(w), int32(v))
+	}
+	o.adj[v] = o.adj[v][:0]
+	o.alive[v] = false
+	o.aliveCnt--
+	o.freeIDs = append(o.freeIDs, int32(v))
+
+	// Re-pair the dangling stubs uniformly at random.
+	o.rng.Shuffle(len(dangling), func(i, j int) { dangling[i], dangling[j] = dangling[j], dangling[i] })
+	for i := 0; i+1 < len(dangling); i += 2 {
+		o.addEdge(int(dangling[i]), dangling[i+1])
+	}
+	return nil
+}
+
+// Mix performs the given number of switch-chain steps: pick two random
+// edges (a,b), (c,e) and replace them with (a,c), (b,e) unless that would
+// create a self-loop. This is the degree-preserving Markov chain used for
+// overlay maintenance in the P2P literature the paper cites.
+func (o *Overlay) Mix(steps int) {
+	for s := 0; s < steps; s++ {
+		a, b := o.randomEdge()
+		c, e := o.randomEdge()
+		if a == c || int32(a) == e || b == int32(c) || b == e {
+			continue
+		}
+		o.removeEdge(a, b)
+		o.removeEdge(c, e)
+		o.addEdge(a, int32(c))
+		o.addEdge(int(b), e)
+	}
+}
+
+// Snapshot freezes the alive part of the overlay into an immutable Graph
+// together with the mapping from snapshot ids to overlay ids.
+func (o *Overlay) Snapshot() (*graph.Graph, []int32, error) {
+	newID := make([]int32, len(o.adj))
+	var orig []int32
+	for v := range o.adj {
+		newID[v] = -1
+		if o.alive[v] {
+			newID[v] = int32(len(orig))
+			orig = append(orig, int32(v))
+		}
+	}
+	adj := make([][]int32, len(orig))
+	for nv, ov := range orig {
+		for _, w := range o.adj[ov] {
+			if o.alive[w] {
+				adj[nv] = append(adj[nv], newID[w])
+			}
+		}
+	}
+	g, err := graph.NewFromAdjacency(adj)
+	if err != nil {
+		return nil, nil, fmt.Errorf("overlay: snapshot: %w", err)
+	}
+	return g, orig, nil
+}
+
+// CheckInvariants verifies structural consistency (symmetry, exact degree
+// d for alive peers, empty adjacency for dead slots). It is O(n·d) and
+// intended for tests and debugging.
+func (o *Overlay) CheckInvariants() error {
+	counts := make(map[[2]int32]int)
+	for v := range o.adj {
+		if !o.alive[v] {
+			if len(o.adj[v]) != 0 {
+				return fmt.Errorf("overlay: dead peer %d has %d stubs", v, len(o.adj[v]))
+			}
+			continue
+		}
+		if len(o.adj[v]) != o.d {
+			return fmt.Errorf("overlay: peer %d has degree %d, want %d", v, len(o.adj[v]), o.d)
+		}
+		for _, w := range o.adj[v] {
+			if !o.alive[w] {
+				return fmt.Errorf("overlay: peer %d adjacent to dead peer %d", v, w)
+			}
+			a, b := int32(v), w
+			if a > b {
+				a, b = b, a
+			}
+			counts[[2]int32{a, b}]++
+		}
+	}
+	for e, c := range counts {
+		if c%2 != 0 {
+			return fmt.Errorf("overlay: asymmetric edge %v (stub count %d)", e, c)
+		}
+	}
+	return nil
+}
+
+// randomEdge returns a uniformly random edge as an ordered stub (u,w).
+// Uniformity follows from regularity: pick an alive peer uniformly, then
+// one of its stubs uniformly.
+func (o *Overlay) randomEdge() (int, int32) {
+	for {
+		v := o.rng.IntN(len(o.adj))
+		if !o.alive[v] || len(o.adj[v]) == 0 {
+			continue
+		}
+		i := o.rng.IntN(len(o.adj[v]))
+		return v, o.adj[v][i]
+	}
+}
+
+// addEdge appends the two stub entries of edge (u,w). A self-loop (u==w)
+// appends two entries at u.
+func (o *Overlay) addEdge(u int, w int32) {
+	o.adj[u] = append(o.adj[u], w)
+	o.adj[w] = append(o.adj[w], int32(u))
+}
+
+// removeEdge deletes one instance of edge (u,w): one stub at each side
+// (two stubs at u for a self-loop).
+func (o *Overlay) removeEdge(u int, w int32) {
+	o.removeDirected(u, w)
+	o.removeDirected(int(w), int32(u))
+}
+
+// removeDirected deletes one occurrence of w from u's list.
+func (o *Overlay) removeDirected(u int, w int32) {
+	lst := o.adj[u]
+	for i, x := range lst {
+		if x == w {
+			lst[i] = lst[len(lst)-1]
+			o.adj[u] = lst[:len(lst)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("overlay: removeDirected(%d,%d): stub not found", u, w))
+}
+
+// Churner drives continuous membership change: every round it performs a
+// Binomial(aliveCount, LeaveProb) number of departures and
+// Binomial(aliveCount, JoinProb) arrivals, then MixSteps switch-chain
+// steps. It implements phonecall.Stepper.
+type Churner struct {
+	Overlay   *Overlay
+	JoinProb  float64
+	LeaveProb float64
+	MixSteps  int
+	rng       *xrand.Rand
+
+	// Joins / Leaves / Rejected count the operations performed (rejected =
+	// ops skipped because of capacity or minimum-size limits).
+	Joins, Leaves, Rejected int
+}
+
+var _ phonecall.Stepper = (*Churner)(nil)
+
+// NewChurner validates parameters and returns a stepper.
+func NewChurner(o *Overlay, joinProb, leaveProb float64, mixSteps int, rng *xrand.Rand) (*Churner, error) {
+	if o == nil || rng == nil {
+		return nil, fmt.Errorf("overlay: NewChurner requires overlay and rng")
+	}
+	if joinProb < 0 || joinProb > 1 || leaveProb < 0 || leaveProb > 1 {
+		return nil, fmt.Errorf("overlay: churn probabilities out of [0,1]: join=%v leave=%v", joinProb, leaveProb)
+	}
+	if mixSteps < 0 {
+		return nil, fmt.Errorf("overlay: negative mix steps %d", mixSteps)
+	}
+	return &Churner{Overlay: o, JoinProb: joinProb, LeaveProb: leaveProb, MixSteps: mixSteps, rng: rng}, nil
+}
+
+// Step implements phonecall.Stepper.
+func (c *Churner) Step(round int) []int {
+	o := c.Overlay
+	leaves := c.rng.Binomial(o.AliveCount(), c.LeaveProb)
+	for i := 0; i < leaves; i++ {
+		v := c.randomAlive()
+		if v < 0 {
+			break
+		}
+		if err := o.Leave(v); err != nil {
+			c.Rejected++
+			continue
+		}
+		c.Leaves++
+	}
+	joins := c.rng.Binomial(o.AliveCount(), c.JoinProb)
+	var joined []int
+	for i := 0; i < joins; i++ {
+		id, err := o.Join()
+		if err != nil {
+			c.Rejected++
+			continue
+		}
+		c.Joins++
+		joined = append(joined, id)
+	}
+	if c.MixSteps > 0 {
+		o.Mix(c.MixSteps)
+	}
+	return joined
+}
+
+// randomAlive picks a uniformly random alive peer (-1 if none).
+func (c *Churner) randomAlive() int {
+	o := c.Overlay
+	if o.AliveCount() == 0 {
+		return -1
+	}
+	for tries := 0; tries < 16*len(o.adj); tries++ {
+		v := c.rng.IntN(len(o.adj))
+		if o.alive[v] {
+			return v
+		}
+	}
+	return -1
+}

@@ -1,0 +1,113 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"regcast/internal/xrand"
+)
+
+func TestRandomWalkValidation(t *testing.T) {
+	o := newTestOverlay(t, 40, 4, 0, 90)
+	if _, err := o.RandomWalk(-1, 5); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := o.RandomWalk(0, -1); err == nil {
+		t.Error("negative length accepted")
+	}
+	if end, err := o.RandomWalk(7, 0); err != nil || end != 7 {
+		t.Errorf("zero-length walk: end=%d err=%v", end, err)
+	}
+}
+
+func TestRandomWalkStaysOnAlivePeers(t *testing.T) {
+	o := newTestOverlay(t, 60, 6, 0, 91)
+	for i := 0; i < 50; i++ {
+		end, err := o.RandomWalk(0, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Alive(end) {
+			t.Fatalf("walk ended on dead peer %d", end)
+		}
+	}
+}
+
+func TestRandomWalkMixesTowardUniform(t *testing.T) {
+	// On an expander, an O(log n)-step walk should visit all peers with
+	// roughly uniform frequency. Chi-square-ish sanity: no peer collects
+	// more than 4× the uniform share over many walks.
+	const n, walks = 64, 6400
+	o := newTestOverlay(t, n, 6, 0, 92)
+	counts := make([]int, o.NumNodes())
+	for i := 0; i < walks; i++ {
+		end, err := o.RandomWalk(0, 12) // 2·log₂ 64
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[end]++
+	}
+	uniform := float64(walks) / n
+	for v, c := range counts {
+		if float64(c) > 4*uniform {
+			t.Errorf("peer %d visited %d times (uniform share %.0f)", v, c, uniform)
+		}
+	}
+	if counts[0] == walks {
+		t.Error("walk never left the start")
+	}
+}
+
+func TestWalkJoinPreservesRegularity(t *testing.T) {
+	o := newTestOverlay(t, 50, 6, 20, 93)
+	walkLen := 2 * int(math.Ceil(math.Log2(50)))
+	for i := 0; i < 15; i++ {
+		id, err := o.WalkJoin(firstAlive(o), walkLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Degree(id) != 6 {
+			t.Fatalf("walk-joined peer %d has degree %d", id, o.Degree(id))
+		}
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if o.AliveCount() != 65 {
+		t.Errorf("alive = %d", o.AliveCount())
+	}
+}
+
+func TestWalkJoinValidation(t *testing.T) {
+	o := newTestOverlay(t, 30, 4, 5, 94)
+	if _, err := o.WalkJoin(-1, 5); err == nil {
+		t.Error("bad contact accepted")
+	}
+	if _, err := o.WalkJoin(0, 0); err == nil {
+		t.Error("zero walk length accepted")
+	}
+	full := newTestOverlay(t, 20, 4, 0, 95)
+	if _, err := full.WalkJoin(0, 5); err == nil {
+		t.Error("join without capacity accepted")
+	}
+}
+
+func TestWalkJoinInterleavedWithLeaves(t *testing.T) {
+	o := newTestOverlay(t, 64, 6, 64, 96)
+	rng := xrand.New(97)
+	for step := 0; step < 200; step++ {
+		if rng.Bool(0.5) {
+			if _, err := o.WalkJoin(firstAlive(o), 12); err != nil {
+				continue
+			}
+		} else {
+			v := firstAlive(o)
+			if err := o.Leave(v); err != nil {
+				continue
+			}
+		}
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

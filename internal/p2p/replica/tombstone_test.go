@@ -1,0 +1,91 @@
+package replica
+
+import (
+	"testing"
+
+	"regcast/internal/core"
+	"regcast/internal/xrand"
+)
+
+func TestDeleteHidesKey(t *testing.T) {
+	var s Store
+	s.Apply("k", "v", Version{Seq: 1})
+	if !s.Delete("k", Version{Seq: 2}) {
+		t.Fatal("delete rejected")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("deleted key still visible")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after delete", s.Len())
+	}
+}
+
+func TestTombstoneWinsOverOlderWrite(t *testing.T) {
+	var s Store
+	s.Delete("k", Version{Seq: 5})
+	if s.Apply("k", "stale", Version{Seq: 3}) {
+		t.Error("stale write resurrected a deleted key")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("key visible after stale write against tombstone")
+	}
+	// A genuinely newer write revives the key.
+	if !s.Apply("k", "fresh", Version{Seq: 7}) {
+		t.Error("newer write rejected")
+	}
+	if v, ok := s.Get("k"); !ok || v != "fresh" {
+		t.Errorf("revived key = %q, %v", v, ok)
+	}
+}
+
+func TestMergePropagatesTombstones(t *testing.T) {
+	var a, b Store
+	a.Apply("k", "v", Version{Seq: 1})
+	b.Delete("k", Version{Seq: 2})
+	if changed := a.Merge(&b); changed != 1 {
+		t.Fatalf("merge changed %d keys", changed)
+	}
+	if _, ok := a.Get("k"); ok {
+		t.Error("tombstone lost in merge")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprints differ after tombstone merge")
+	}
+}
+
+func TestFingerprintDistinguishesTombstoneFromEmptyValue(t *testing.T) {
+	var del, empty Store
+	del.Delete("k", Version{Seq: 1})
+	empty.Apply("k", "", Version{Seq: 1})
+	if del.Fingerprint() == empty.Fingerprint() {
+		t.Error("tombstone and empty value share fingerprint")
+	}
+}
+
+func TestClusterDeleteConverges(t *testing.T) {
+	topo := clusterTopology(t, 128, 6, 60)
+	proto, err := core.NewAlgorithm1(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := []Write{
+		{Key: "doc", Value: "v1", Origin: 3, Round: 0},
+		{Key: "doc", Delete: true, Origin: 90, Round: 4},
+	}
+	rep, err := Run(Config{Topology: topo, Protocol: proto, RNG: xrand.New(61)}, writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatal("cluster did not converge")
+	}
+	if !StoresConverged(topo, rep.Stores) {
+		t.Fatal("stores diverged")
+	}
+	for _, node := range []int{0, 64, 127} {
+		if _, ok := rep.Stores[node].Get("doc"); ok {
+			t.Errorf("replica %d still sees deleted doc", node)
+		}
+	}
+}

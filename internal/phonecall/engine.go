@@ -1,0 +1,625 @@
+package phonecall
+
+import (
+	"fmt"
+
+	"regcast/internal/xrand"
+)
+
+// DialStrategy selects how a node picks the neighbours it dials.
+type DialStrategy int
+
+const (
+	// DialUniform is the (modified) random phone call model: k distinct
+	// neighbours chosen independently and uniformly every round.
+	DialUniform DialStrategy = iota
+	// DialQuasirandom is the quasirandom rumor-spreading model of Doerr,
+	// Friedrich & Sauerwald (cited as [9] in the paper): each node starts
+	// at a uniformly random position of its (fixed) neighbour list and
+	// from then on dials successive list entries, k per round. Intended
+	// for push-only schedules (a pull round would advance the cursors of
+	// uninformed nodes too, which the quasirandom model does not define).
+	DialQuasirandom
+)
+
+// String implements fmt.Stringer.
+func (s DialStrategy) String() string {
+	switch s {
+	case DialUniform:
+		return "uniform"
+	case DialQuasirandom:
+		return "quasirandom"
+	default:
+		return fmt.Sprintf("dialstrategy(%d)", int(s))
+	}
+}
+
+// Config describes one broadcast simulation.
+type Config struct {
+	// Topology is the network; required.
+	Topology Topology
+	// Protocol is the broadcast schedule; required.
+	Protocol Protocol
+	// Source is the node that creates the message in round 0.
+	Source int
+	// RNG drives all randomness; required.
+	RNG *xrand.Rand
+	// ChannelFailureProb is the probability that a dialled channel fails to
+	// establish (no communication in either direction over it this round).
+	ChannelFailureProb float64
+	// MessageLossProb is the probability that an individual transmission is
+	// lost in transit. Lost transmissions still count as transmissions.
+	MessageLossProb float64
+	// DialStrategy selects the neighbour-selection discipline (default
+	// DialUniform). DialQuasirandom is incompatible with AvoidRecent.
+	DialStrategy DialStrategy
+	// AvoidRecent, when > 0, enables the sequentialised model of footnote 2:
+	// each node remembers the partners it dialled in the last AvoidRecent
+	// rounds and excludes them from the current choice. It disables the
+	// sender-only dial-sampling optimisation because memory must advance
+	// every round for every node.
+	AvoidRecent int
+	// RecordRounds enables per-round metrics in the Result.
+	RecordRounds bool
+	// TrackEdgeUse enables the unused-edge census of Lemma 4: an edge
+	// counts as used once a transmission crossed it in either direction,
+	// and RoundMetrics.UnusedEdgeNodes records |U(t)|, the number of nodes
+	// still incident to at least one unused edge. Requires RecordRounds
+	// and a simple static topology (parallel edges would be conflated).
+	TrackEdgeUse bool
+	// StopEarly stops the run as soon as every alive node is informed.
+	// Leave it false to measure the transmission cost of the full schedule
+	// (the honest accounting used throughout EXPERIMENTS.md).
+	StopEarly bool
+}
+
+// RoundMetrics captures the state of one simulated round.
+type RoundMetrics struct {
+	Round         int
+	NewlyInformed int
+	Informed      int
+	Transmissions int64
+	ChannelsDial  int64
+	// UnusedEdgeNodes is |U(t)| when Config.TrackEdgeUse is set (else 0).
+	UnusedEdgeNodes int
+}
+
+// Result summarises a completed run.
+type Result struct {
+	// Rounds is the number of rounds actually executed.
+	Rounds int
+	// Informed is the number of informed alive nodes when the run ended.
+	Informed int
+	// AliveNodes is the number of alive nodes when the run ended.
+	AliveNodes int
+	// AllInformed reports whether every alive node was informed at the end.
+	AllInformed bool
+	// FirstAllInformed is the earliest round after which every alive node
+	// was informed, or -1 if that never happened.
+	FirstAllInformed int
+	// Transmissions is the total number of message transmissions (lost
+	// transmissions included, as in the paper's accounting).
+	Transmissions int64
+	// ChannelsDialed is the total number of channel dials mandated by the
+	// model (every alive node dials min(k, degree) neighbours per round).
+	ChannelsDialed int64
+	// InformedAt[v] is the round in which v first received the message
+	// (Uninformed if never).
+	InformedAt []int32
+	// PerRound holds per-round metrics when Config.RecordRounds is set.
+	PerRound []RoundMetrics
+}
+
+// Engine runs one message broadcast under the random phone call model.
+type Engine struct {
+	cfg   Config
+	topo  Topology
+	proto Protocol
+	rng   *xrand.Rand
+
+	n          int
+	k          int
+	informedAt []int32
+	groups     [][]int32 // groups[t] = nodes first informed in round t
+	pending    []int32   // nodes newly informed in the current round
+	isPending  []bool
+
+	dialTargets []int32 // flat n×k; Uninformed (-1) marks "no channel"
+	scratch     []int
+	dialIdx     []int
+
+	// memory for the sequentialised model (AvoidRecent > 0)
+	recent    []int32 // flat n×AvoidRecent ring of recent partners
+	recentPos []int
+
+	// listCursor holds each node's position in its neighbour list for the
+	// quasirandom strategy (-1 until the first dial draws the start).
+	listCursor []int32
+
+	// staticBudget caches the per-round dial budget for frozen topologies
+	// (-1 when the topology can change between rounds).
+	staticBudget int64
+
+	// Edge-use census (Config.TrackEdgeUse): usedEdges records undirected
+	// edges that carried a transmission; unusedDeg[v] counts v's incident
+	// edges not yet used.
+	usedEdges map[int64]struct{}
+	unusedDeg []int32
+}
+
+// NewEngine validates cfg and prepares a run.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("phonecall: Config.Topology is required")
+	}
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("phonecall: Config.Protocol is required")
+	}
+	if cfg.RNG == nil {
+		return nil, fmt.Errorf("phonecall: Config.RNG is required")
+	}
+	n := cfg.Topology.NumNodes()
+	if cfg.Source < 0 || cfg.Source >= n {
+		return nil, fmt.Errorf("phonecall: source %d out of range [0,%d)", cfg.Source, n)
+	}
+	if !cfg.Topology.Alive(cfg.Source) {
+		return nil, fmt.Errorf("phonecall: source %d is not alive", cfg.Source)
+	}
+	if cfg.Protocol.Choices() < 1 {
+		return nil, fmt.Errorf("phonecall: protocol %q dials %d < 1 neighbours", cfg.Protocol.Name(), cfg.Protocol.Choices())
+	}
+	if cfg.Protocol.Horizon() < 1 {
+		return nil, fmt.Errorf("phonecall: protocol %q has horizon %d < 1", cfg.Protocol.Name(), cfg.Protocol.Horizon())
+	}
+	if cfg.ChannelFailureProb < 0 || cfg.ChannelFailureProb > 1 {
+		return nil, fmt.Errorf("phonecall: ChannelFailureProb %v out of [0,1]", cfg.ChannelFailureProb)
+	}
+	if cfg.MessageLossProb < 0 || cfg.MessageLossProb > 1 {
+		return nil, fmt.Errorf("phonecall: MessageLossProb %v out of [0,1]", cfg.MessageLossProb)
+	}
+	if cfg.AvoidRecent < 0 {
+		return nil, fmt.Errorf("phonecall: AvoidRecent %d < 0", cfg.AvoidRecent)
+	}
+	if cfg.DialStrategy != DialUniform && cfg.DialStrategy != DialQuasirandom {
+		return nil, fmt.Errorf("phonecall: unknown dial strategy %d", cfg.DialStrategy)
+	}
+	if cfg.DialStrategy == DialQuasirandom && cfg.AvoidRecent > 0 {
+		return nil, fmt.Errorf("phonecall: DialQuasirandom is incompatible with AvoidRecent")
+	}
+	e := &Engine{
+		cfg:   cfg,
+		topo:  cfg.Topology,
+		proto: cfg.Protocol,
+		rng:   cfg.RNG,
+		n:     n,
+		k:     cfg.Protocol.Choices(),
+	}
+	e.informedAt = make([]int32, n)
+	for i := range e.informedAt {
+		e.informedAt[i] = Uninformed
+	}
+	e.groups = make([][]int32, cfg.Protocol.Horizon()+1)
+	e.isPending = make([]bool, n)
+	e.dialTargets = make([]int32, n*e.k)
+	e.dialIdx = make([]int, 0, e.k)
+	if cfg.AvoidRecent > 0 {
+		e.recent = make([]int32, n*cfg.AvoidRecent)
+		for i := range e.recent {
+			e.recent[i] = -1
+		}
+		e.recentPos = make([]int, n)
+	}
+	if cfg.DialStrategy == DialQuasirandom {
+		e.listCursor = make([]int32, n)
+		for i := range e.listCursor {
+			e.listCursor[i] = -1 // start position drawn at first dial
+		}
+	}
+	if cfg.TrackEdgeUse {
+		if !cfg.RecordRounds {
+			return nil, fmt.Errorf("phonecall: TrackEdgeUse requires RecordRounds")
+		}
+		if _, dynamic := cfg.Topology.(Stepper); dynamic {
+			return nil, fmt.Errorf("phonecall: TrackEdgeUse requires a static topology")
+		}
+		e.usedEdges = make(map[int64]struct{})
+		e.unusedDeg = make([]int32, n)
+		for v := 0; v < n; v++ {
+			e.unusedDeg[v] = int32(cfg.Topology.Degree(v))
+		}
+	}
+	e.staticBudget = -1
+	if _, dynamic := cfg.Topology.(Stepper); !dynamic {
+		var total int64
+		for v := 0; v < n; v++ {
+			if !cfg.Topology.Alive(v) {
+				continue
+			}
+			d := cfg.Topology.Degree(v)
+			if d > e.k {
+				d = e.k
+			}
+			total += int64(d)
+		}
+		e.staticBudget = total
+	}
+	return e, nil
+}
+
+// Run executes the full schedule and returns the result.
+func (e *Engine) Run() Result {
+	res := Result{FirstAllInformed: -1}
+	e.informedAt[e.cfg.Source] = 0
+	e.groups[0] = append(e.groups[0], int32(e.cfg.Source))
+	informedCount := 1
+
+	horizon := e.proto.Horizon()
+	neverPulls := false
+	if pf, ok := e.proto.(PullFree); ok {
+		neverPulls = pf.NeverPulls()
+	}
+	stepper, _ := e.topo.(Stepper)
+
+	for t := 1; t <= horizon; t++ {
+		// Which receipt-round groups push or pull this round?
+		anyPull, anyPush := false, false
+		for ia := 0; ia < t && ia < len(e.groups); ia++ {
+			if len(e.groups[ia]) == 0 {
+				continue
+			}
+			if e.proto.SendPush(t, ia) {
+				anyPush = true
+			}
+			if !neverPulls && e.proto.SendPull(t, ia) {
+				anyPull = true
+			}
+			if anyPush && anyPull {
+				break
+			}
+		}
+
+		var roundTx int64
+		dialAll := anyPull || e.cfg.AvoidRecent > 0
+		if dialAll {
+			e.sampleAllDials()
+		}
+
+		// Push deliveries: senders transmit over their dialled channels.
+		if anyPush {
+			for ia := 0; ia < t && ia < len(e.groups); ia++ {
+				if len(e.groups[ia]) == 0 || !e.proto.SendPush(t, ia) {
+					continue
+				}
+				for _, v := range e.groups[ia] {
+					if e.informedAt[v] != int32(ia) || !e.topo.Alive(int(v)) {
+						continue // stale entry (node churned out / reset)
+					}
+					if !dialAll {
+						e.sampleDialsFor(int(v))
+					}
+					base := int(v) * e.k
+					for j := 0; j < e.k; j++ {
+						w := e.dialTargets[base+j]
+						if w < 0 {
+							continue
+						}
+						roundTx++
+						e.markUsed(int(v), int(w))
+						if e.cfg.MessageLossProb > 0 && e.rng.Bool(e.cfg.MessageLossProb) {
+							continue
+						}
+						e.deliver(w, t)
+					}
+				}
+			}
+		}
+
+		// Pull deliveries: every established channel v→w lets an informed,
+		// pulling w answer the caller v.
+		if anyPull {
+			for v := 0; v < e.n; v++ {
+				if !e.topo.Alive(v) {
+					continue
+				}
+				base := v * e.k
+				for j := 0; j < e.k; j++ {
+					w := e.dialTargets[base+j]
+					if w < 0 {
+						continue
+					}
+					ia := e.informedAt[w]
+					if ia == Uninformed || int(ia) >= t {
+						continue // callee uninformed (this round's receipts excluded)
+					}
+					if !e.proto.SendPull(t, int(ia)) {
+						continue
+					}
+					roundTx++
+					e.markUsed(v, int(w))
+					if e.cfg.MessageLossProb > 0 && e.rng.Bool(e.cfg.MessageLossProb) {
+						continue
+					}
+					e.deliver(int32(v), t)
+				}
+			}
+		}
+
+		// Apply receipts at the end of the round.
+		newly := len(e.pending)
+		for _, v := range e.pending {
+			e.isPending[v] = false
+			e.informedAt[v] = int32(t)
+			if t < len(e.groups) {
+				e.groups[t] = append(e.groups[t], v)
+			}
+		}
+		e.pending = e.pending[:0]
+		informedCount += newly
+
+		budget := e.dialBudget()
+		res.Transmissions += roundTx
+		res.ChannelsDialed += budget
+		res.Rounds = t
+
+		if e.cfg.RecordRounds {
+			rm := RoundMetrics{
+				Round:         t,
+				NewlyInformed: newly,
+				Informed:      informedCount,
+				Transmissions: roundTx,
+				ChannelsDial:  budget,
+			}
+			if e.cfg.TrackEdgeUse {
+				for v := 0; v < e.n; v++ {
+					if e.unusedDeg[v] > 0 {
+						rm.UnusedEdgeNodes++
+					}
+				}
+			}
+			res.PerRound = append(res.PerRound, rm)
+		}
+
+		// Churn happens between rounds. Joiners start uninformed, and both
+		// joins and departures invalidate the incremental informed counter.
+		if stepper != nil {
+			joined := stepper.Step(t)
+			for _, v := range joined {
+				e.informedAt[v] = Uninformed
+			}
+			informedCount = e.recount()
+		}
+
+		if alive := e.aliveCount(); informedCount >= alive {
+			if res.FirstAllInformed < 0 {
+				res.FirstAllInformed = t
+			}
+			if e.cfg.StopEarly {
+				break
+			}
+		} else if stepper != nil {
+			// Churn can re-introduce uninformed nodes after completion.
+			res.FirstAllInformed = -1
+		}
+	}
+
+	res.AliveNodes = e.aliveCount()
+	res.Informed = 0
+	for v := 0; v < e.n; v++ {
+		if e.topo.Alive(v) && e.informedAt[v] != Uninformed {
+			res.Informed++
+		}
+	}
+	res.AllInformed = res.Informed == res.AliveNodes && res.AliveNodes > 0
+	res.InformedAt = append([]int32(nil), e.informedAt...)
+	return res
+}
+
+// markUsed records that edge (v,w) carried a transmission (Lemma 4's
+// census). The first use decrements both endpoints' unused-edge counters
+// (twice at v for a self-loop).
+func (e *Engine) markUsed(v, w int) {
+	if e.usedEdges == nil {
+		return
+	}
+	a, b := v, w
+	if a > b {
+		a, b = b, a
+	}
+	key := int64(a)<<32 | int64(b)
+	if _, done := e.usedEdges[key]; done {
+		return
+	}
+	e.usedEdges[key] = struct{}{}
+	e.unusedDeg[v]--
+	e.unusedDeg[w]--
+}
+
+// deliver marks w as newly informed in round t unless already informed or
+// dead. Receipts only take effect at the end of the round.
+func (e *Engine) deliver(w int32, t int) {
+	if !e.topo.Alive(int(w)) {
+		return
+	}
+	if e.informedAt[w] != Uninformed || e.isPending[w] {
+		return
+	}
+	e.isPending[w] = true
+	e.pending = append(e.pending, w)
+}
+
+// sampleAllDials samples the dial targets of every alive node.
+func (e *Engine) sampleAllDials() {
+	for v := 0; v < e.n; v++ {
+		if e.topo.Alive(v) {
+			e.sampleDialsFor(v)
+		} else {
+			base := v * e.k
+			for j := 0; j < e.k; j++ {
+				e.dialTargets[base+j] = Uninformed
+			}
+		}
+	}
+}
+
+// sampleDialsFor fills e.dialTargets for node v: min(k, deg) distinct
+// neighbours, with dead targets and failed channels recorded as -1.
+func (e *Engine) sampleDialsFor(v int) {
+	base := v * e.k
+	for j := 0; j < e.k; j++ {
+		e.dialTargets[base+j] = Uninformed
+	}
+	deg := e.topo.Degree(v)
+	if deg == 0 {
+		return
+	}
+	if e.cfg.AvoidRecent > 0 {
+		e.sampleWithMemory(v, deg)
+		return
+	}
+	if e.cfg.DialStrategy == DialQuasirandom {
+		e.sampleQuasirandom(v, deg)
+		return
+	}
+	kk := e.k
+	if kk > deg {
+		kk = deg
+	}
+	e.dialIdx = e.rng.DistinctK(e.dialIdx, kk, deg, e.scratchFor(deg))
+	for j, idx := range e.dialIdx {
+		w := e.topo.Neighbor(v, idx)
+		if !e.topo.Alive(w) {
+			continue
+		}
+		if e.cfg.ChannelFailureProb > 0 && e.rng.Bool(e.cfg.ChannelFailureProb) {
+			continue
+		}
+		e.dialTargets[base+j] = int32(w)
+	}
+}
+
+// sampleQuasirandom dials the next k entries of v's neighbour list,
+// drawing a uniform start position on the first dial (Doerr et al.'s
+// quasirandom model).
+func (e *Engine) sampleQuasirandom(v, deg int) {
+	base := v * e.k
+	if e.listCursor[v] < 0 {
+		e.listCursor[v] = int32(e.rng.IntN(deg))
+	}
+	kk := e.k
+	if kk > deg {
+		kk = deg
+	}
+	cur := int(e.listCursor[v])
+	for j := 0; j < kk; j++ {
+		w := e.topo.Neighbor(v, (cur+j)%deg)
+		if !e.topo.Alive(w) {
+			continue
+		}
+		if e.cfg.ChannelFailureProb > 0 && e.rng.Bool(e.cfg.ChannelFailureProb) {
+			continue
+		}
+		e.dialTargets[base+j] = int32(w)
+	}
+	e.listCursor[v] = int32((cur + kk) % deg)
+}
+
+// sampleWithMemory implements footnote 2's sequentialised model: one dial
+// per round, chosen uniformly among neighbours not contacted in the last
+// AvoidRecent rounds. If every neighbour is recent (possible only when
+// degree <= AvoidRecent), the choice falls back to uniform.
+func (e *Engine) sampleWithMemory(v, deg int) {
+	r := e.cfg.AvoidRecent
+	memBase := v * r
+	choice := -1
+	for attempt := 0; attempt < 4*deg+16; attempt++ {
+		idx := e.rng.IntN(deg)
+		w := e.topo.Neighbor(v, idx)
+		recent := false
+		for i := 0; i < r; i++ {
+			if e.recent[memBase+i] == int32(w) {
+				recent = true
+				break
+			}
+		}
+		if !recent {
+			choice = w
+			break
+		}
+	}
+	if choice < 0 {
+		choice = e.topo.Neighbor(v, e.rng.IntN(deg))
+	}
+	// Record the partner regardless of channel failure: the node dialled it.
+	e.recent[memBase+e.recentPos[v]] = int32(choice)
+	e.recentPos[v] = (e.recentPos[v] + 1) % r
+	if !e.topo.Alive(choice) {
+		return
+	}
+	if e.cfg.ChannelFailureProb > 0 && e.rng.Bool(e.cfg.ChannelFailureProb) {
+		return
+	}
+	e.dialTargets[v*e.k] = int32(choice)
+}
+
+// scratchFor returns a scratch slice with capacity >= n for DistinctK.
+func (e *Engine) scratchFor(n int) []int {
+	if cap(e.scratch) < n {
+		e.scratch = make([]int, n)
+	}
+	return e.scratch
+}
+
+// dialBudget returns the number of dials the model mandates per round:
+// every alive node dials min(k, degree) neighbours.
+func (e *Engine) dialBudget() int64 {
+	if e.staticBudget >= 0 {
+		return e.staticBudget
+	}
+	var total int64
+	for v := 0; v < e.n; v++ {
+		if !e.topo.Alive(v) {
+			continue
+		}
+		d := e.topo.Degree(v)
+		if d > e.k {
+			d = e.k
+		}
+		total += int64(d)
+	}
+	return total
+}
+
+// aliveCount returns the number of alive nodes.
+func (e *Engine) aliveCount() int {
+	if _, ok := e.topo.(Static); ok {
+		return e.n
+	}
+	c := 0
+	for v := 0; v < e.n; v++ {
+		if e.topo.Alive(v) {
+			c++
+		}
+	}
+	return c
+}
+
+// recount recomputes the informed-alive count after churn invalidated the
+// incremental counter.
+func (e *Engine) recount() int {
+	c := 0
+	for v := 0; v < e.n; v++ {
+		if e.topo.Alive(v) && e.informedAt[v] != Uninformed {
+			c++
+		}
+	}
+	return c
+}
+
+// Run is a convenience wrapper: build an engine from cfg and run it.
+func Run(cfg Config) (Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(), nil
+}

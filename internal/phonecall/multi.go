@@ -1,0 +1,307 @@
+package phonecall
+
+import "fmt"
+
+// Message is one rumour in a multi-message run. Messages are created at
+// their origin node at the end of round CreatedAt (the origin knows the
+// message from round CreatedAt+1 onward), and each message follows the
+// protocol schedule relative to its own age, exactly as in the paper
+// ("the algorithm will be run for every message"; nodes combine all
+// messages due in the same direction into one physical packet, but the
+// analysis — and our accounting — counts transmissions per message).
+type Message struct {
+	ID        int
+	Origin    int
+	CreatedAt int
+}
+
+// MultiConfig describes a multi-message run.
+type MultiConfig struct {
+	Topology Topology
+	Protocol Protocol
+	Messages []Message
+	// Rounds is the total number of rounds to simulate. Messages whose
+	// schedule extends past this horizon simply stop early.
+	Rounds             int
+	RNG                interface{ Uint64() uint64 }
+	ChannelFailureProb float64
+	MessageLossProb    float64
+}
+
+// MessageResult summarises the dissemination of one message.
+type MessageResult struct {
+	Message          Message
+	Transmissions    int64
+	Informed         int
+	AllInformed      bool
+	FirstAllInformed int // absolute round; -1 if never
+}
+
+// MultiResult summarises a completed multi-message run.
+type MultiResult struct {
+	Rounds         int
+	PerMessage     []MessageResult
+	Transmissions  int64 // sum of per-message transmissions
+	ChannelsDialed int64
+}
+
+// rngLike is the minimal generator interface MultiEngine needs; it is
+// satisfied by *xrand.Rand.
+type rngLike interface {
+	Uint64() uint64
+	IntN(n int) int
+	Bool(p float64) bool
+	DistinctK(dst []int, k, n int, scratch []int) []int
+}
+
+// MultiEngine simulates many concurrently disseminating messages that share
+// the per-round channels, as in a replicated-database workload.
+type MultiEngine struct {
+	cfg   MultiConfig
+	topo  Topology
+	proto Protocol
+	rng   rngLike
+
+	n, k       int
+	receivedAt [][]int32 // [msg][node] absolute round of first receipt
+	dials      []int32
+	scratch    []int
+	dialIdx    []int
+}
+
+// NewMultiEngine validates cfg and prepares a run.
+func NewMultiEngine(cfg MultiConfig) (*MultiEngine, error) {
+	if cfg.Topology == nil || cfg.Protocol == nil {
+		return nil, fmt.Errorf("phonecall: MultiConfig requires Topology and Protocol")
+	}
+	rng, ok := cfg.RNG.(rngLike)
+	if !ok {
+		return nil, fmt.Errorf("phonecall: MultiConfig.RNG must be an *xrand.Rand-compatible generator")
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("phonecall: MultiConfig.Rounds = %d < 1", cfg.Rounds)
+	}
+	n := cfg.Topology.NumNodes()
+	for _, m := range cfg.Messages {
+		if m.Origin < 0 || m.Origin >= n {
+			return nil, fmt.Errorf("phonecall: message %d origin %d out of range", m.ID, m.Origin)
+		}
+		if m.CreatedAt < 0 {
+			return nil, fmt.Errorf("phonecall: message %d created at negative round %d", m.ID, m.CreatedAt)
+		}
+	}
+	e := &MultiEngine{
+		cfg:   cfg,
+		topo:  cfg.Topology,
+		proto: cfg.Protocol,
+		rng:   rng,
+		n:     n,
+		k:     cfg.Protocol.Choices(),
+	}
+	e.receivedAt = make([][]int32, len(cfg.Messages))
+	for i := range e.receivedAt {
+		e.receivedAt[i] = make([]int32, n)
+		for v := range e.receivedAt[i] {
+			e.receivedAt[i][v] = Uninformed
+		}
+	}
+	e.dials = make([]int32, n*e.k)
+	return e, nil
+}
+
+// Run executes the configured number of rounds.
+func (e *MultiEngine) Run() MultiResult {
+	res := MultiResult{Rounds: e.cfg.Rounds}
+	res.PerMessage = make([]MessageResult, len(e.cfg.Messages))
+	tx := make([]int64, len(e.cfg.Messages))
+	firstAll := make([]int, len(e.cfg.Messages))
+	for i := range firstAll {
+		firstAll[i] = -1
+	}
+
+	horizon := e.proto.Horizon()
+	// pending[m] lists nodes that receive message m this round.
+	pending := make([][]int32, len(e.cfg.Messages))
+	isPending := make([]bool, e.n)
+
+	for t := 1; t <= e.cfg.Rounds; t++ {
+		// Activate messages created at the end of earlier rounds.
+		for mi, m := range e.cfg.Messages {
+			if m.CreatedAt == t-1 && e.receivedAt[mi][m.Origin] == Uninformed {
+				e.receivedAt[mi][m.Origin] = int32(m.CreatedAt)
+			}
+		}
+
+		e.sampleDials()
+		var budget int64
+		for v := 0; v < e.n; v++ {
+			if !e.topo.Alive(v) {
+				continue
+			}
+			d := e.topo.Degree(v)
+			if d > e.k {
+				d = e.k
+			}
+			budget += int64(d)
+		}
+		res.ChannelsDialed += budget
+
+		for mi, m := range e.cfg.Messages {
+			age := t - m.CreatedAt
+			if age < 1 || age > horizon {
+				continue // message inactive this round
+			}
+			recv := e.receivedAt[mi]
+			// Push: every informed node whose schedule says push at this age.
+			for v := 0; v < e.n; v++ {
+				ia := recv[v]
+				if ia == Uninformed || int(ia) >= t || !e.topo.Alive(v) {
+					continue
+				}
+				iaAge := int(ia) - m.CreatedAt
+				if !e.proto.SendPush(age, iaAge) {
+					continue
+				}
+				base := v * e.k
+				for j := 0; j < e.k; j++ {
+					w := e.dials[base+j]
+					if w < 0 {
+						continue
+					}
+					tx[mi]++
+					if e.cfg.MessageLossProb > 0 && e.rng.Bool(e.cfg.MessageLossProb) {
+						continue
+					}
+					e.deliverMulti(mi, w, pending, isPending)
+				}
+			}
+			// Pull: callers receive from informed callees that answer.
+			for v := 0; v < e.n; v++ {
+				if !e.topo.Alive(v) {
+					continue
+				}
+				base := v * e.k
+				for j := 0; j < e.k; j++ {
+					w := e.dials[base+j]
+					if w < 0 {
+						continue
+					}
+					ia := recv[w]
+					if ia == Uninformed || int(ia) >= t {
+						continue
+					}
+					iaAge := int(ia) - m.CreatedAt
+					if !e.proto.SendPull(age, iaAge) {
+						continue
+					}
+					tx[mi]++
+					if e.cfg.MessageLossProb > 0 && e.rng.Bool(e.cfg.MessageLossProb) {
+						continue
+					}
+					e.deliverMulti(mi, int32(v), pending, isPending)
+				}
+			}
+			// Apply receipts for this message at end of round.
+			for _, v := range pending[mi] {
+				isPending[v] = false
+				recv[v] = int32(t)
+			}
+			pending[mi] = pending[mi][:0]
+
+			if firstAll[mi] < 0 && e.countInformed(mi) == e.aliveCount() {
+				firstAll[mi] = t
+			}
+		}
+	}
+
+	for mi, m := range e.cfg.Messages {
+		informed := e.countInformed(mi)
+		res.PerMessage[mi] = MessageResult{
+			Message:          m,
+			Transmissions:    tx[mi],
+			Informed:         informed,
+			AllInformed:      informed == e.aliveCount(),
+			FirstAllInformed: firstAll[mi],
+		}
+		res.Transmissions += tx[mi]
+	}
+	return res
+}
+
+// deliverMulti queues node w to receive message mi at the end of the round.
+func (e *MultiEngine) deliverMulti(mi int, w int32, pending [][]int32, isPending []bool) {
+	if !e.topo.Alive(int(w)) {
+		return
+	}
+	if e.receivedAt[mi][w] != Uninformed || isPending[w] {
+		return
+	}
+	isPending[w] = true
+	pending[mi] = append(pending[mi], w)
+}
+
+// sampleDials fills e.dials with this round's channel targets for all nodes.
+func (e *MultiEngine) sampleDials() {
+	for v := 0; v < e.n; v++ {
+		base := v * e.k
+		for j := 0; j < e.k; j++ {
+			e.dials[base+j] = Uninformed
+		}
+		if !e.topo.Alive(v) {
+			continue
+		}
+		deg := e.topo.Degree(v)
+		if deg == 0 {
+			continue
+		}
+		kk := e.k
+		if kk > deg {
+			kk = deg
+		}
+		if cap(e.scratch) < deg {
+			e.scratch = make([]int, deg)
+		}
+		e.dialIdx = e.rng.DistinctK(e.dialIdx, kk, deg, e.scratch)
+		for j, idx := range e.dialIdx {
+			w := e.topo.Neighbor(v, idx)
+			if !e.topo.Alive(w) {
+				continue
+			}
+			if e.cfg.ChannelFailureProb > 0 && e.rng.Bool(e.cfg.ChannelFailureProb) {
+				continue
+			}
+			e.dials[base+j] = int32(w)
+		}
+	}
+}
+
+// countInformed returns how many alive nodes know message mi.
+func (e *MultiEngine) countInformed(mi int) int {
+	c := 0
+	for v := 0; v < e.n; v++ {
+		if e.topo.Alive(v) && e.receivedAt[mi][v] != Uninformed {
+			c++
+		}
+	}
+	return c
+}
+
+// aliveCount returns the number of alive nodes.
+func (e *MultiEngine) aliveCount() int {
+	if _, ok := e.topo.(Static); ok {
+		return e.n
+	}
+	c := 0
+	for v := 0; v < e.n; v++ {
+		if e.topo.Alive(v) {
+			c++
+		}
+	}
+	return c
+}
+
+// ReceivedAt exposes, for message index mi, the round each node first
+// received it (Uninformed if never). The returned slice is a copy.
+func (e *MultiEngine) ReceivedAt(mi int) []int32 {
+	return append([]int32(nil), e.receivedAt[mi]...)
+}

@@ -1,0 +1,47 @@
+package phonecall
+
+// Uninformed is the sentinel receipt round for nodes that have not yet
+// received the message.
+const Uninformed = -1
+
+// Protocol is a strictly oblivious broadcast protocol in the (modified)
+// random phone call model. All decisions are functions of the current round
+// t and of the round at which the deciding node first received the message
+// (informedAt). Protocols therefore cannot base decisions on neighbour
+// identities or on the history of communication partners, matching the
+// model of §1.2 and the lower-bound model of §2 of the paper.
+//
+// Rounds are numbered from 1; the message is created at the source in
+// round 0 (so the source has informedAt == 0 and the message's age in
+// round t is t).
+type Protocol interface {
+	// Name identifies the protocol in traces and result tables.
+	Name() string
+	// Choices returns k, the number of distinct neighbours every node dials
+	// per round (1 in the standard phone call model, 4 in the paper's
+	// modified model). Nodes of degree < k dial all their neighbours.
+	Choices() int
+	// Horizon returns the total number of rounds the schedule runs for.
+	// The engine stops after Horizon rounds regardless of progress (the
+	// algorithms in the paper are Monte Carlo with a fixed running time).
+	Horizon() int
+	// SendPush reports whether a node informed in round informedAt (>= 0)
+	// transmits the message over its outgoing (dialled) channels in round t.
+	// It is only consulted for nodes with informedAt < t: a message received
+	// in the current round cannot be forwarded in the same round.
+	SendPush(t, informedAt int) bool
+	// SendPull reports whether a node informed in round informedAt (>= 0)
+	// transmits the message over its incoming channels in round t (i.e.
+	// answers the nodes that dialled it).
+	SendPull(t, informedAt int) bool
+}
+
+// PullFree is an optional marker for protocols that never pull. The engine
+// uses it to skip dial sampling for nodes whose channels cannot carry the
+// message, which keeps push-only rounds proportional to the number of
+// senders instead of n. Protocols that sometimes pull simply don't
+// implement it; the engine then asks SendPull round by round.
+type PullFree interface {
+	// NeverPulls reports that SendPull is false for all inputs.
+	NeverPulls() bool
+}

@@ -1,0 +1,61 @@
+// Package phonecall implements the (modified) random phone call model of
+// Karp et al. as used by Berenbrink, Elsässer & Friedetzky: in every
+// synchronous round each node dials k distinct neighbours, establishing
+// bidirectional channels; informed nodes may then push (transmit over the
+// channels they dialled) and/or pull (transmit over the channels on which
+// they were dialled). The engine counts message transmissions and opened
+// channels, injects channel failures and message loss, and supports both a
+// frozen graph and a churning overlay through the Topology interface.
+//
+// Protocols are strictly address-oblivious by construction: the only
+// information a Protocol sees is the current round and the round at which a
+// node first received the message — exactly the model the paper's lower
+// bound (§2) is proved against.
+package phonecall
+
+import "regcast/internal/graph"
+
+// Topology is the engine's view of the network. Static graphs and dynamic
+// overlays both implement it. Node ids are dense in [0, NumNodes()); dead
+// ids (departed or not-yet-joined peers) report Alive() == false and are
+// skipped by the engine.
+type Topology interface {
+	// NumNodes returns the size of the id space (including dead ids).
+	NumNodes() int
+	// Degree returns the number of incident stubs of v.
+	Degree(v int) int
+	// Neighbor returns the i-th neighbour of v, 0 <= i < Degree(v).
+	Neighbor(v, i int) int
+	// Alive reports whether v currently participates in the network.
+	Alive(v int) bool
+}
+
+// Stepper is an optional interface for topologies that evolve over time
+// (churn). The engine invokes Step after every completed round.
+type Stepper interface {
+	// Step advances the topology by one round. It returns the ids of nodes
+	// that joined during this step (the engine resets their message state).
+	Step(round int) (joined []int)
+}
+
+// Static adapts an immutable graph.Graph to the Topology interface.
+type Static struct {
+	G *graph.Graph
+}
+
+var _ Topology = Static{}
+
+// NewStatic wraps g as a Topology.
+func NewStatic(g *graph.Graph) Static { return Static{G: g} }
+
+// NumNodes implements Topology.
+func (s Static) NumNodes() int { return s.G.NumNodes() }
+
+// Degree implements Topology.
+func (s Static) Degree(v int) int { return s.G.Degree(v) }
+
+// Neighbor implements Topology.
+func (s Static) Neighbor(v, i int) int { return s.G.Neighbor(v, i) }
+
+// Alive implements Topology; every node of a static graph is alive.
+func (s Static) Alive(int) bool { return true }

@@ -1,0 +1,315 @@
+// Package runtime executes phone-call protocols with one goroutine per
+// node, barrier-synchronised into rounds — the natural Go embodiment of
+// synchronous gossip. It runs the exact same strictly oblivious
+// phonecall.Protocol values as the sequential engine and produces
+// distributionally identical results; because every node draws from its
+// own deterministic RNG stream, a run's outcome is reproducible from the
+// master seed regardless of goroutine scheduling.
+//
+// The concurrent runtime exists for two reasons: it validates the
+// sequential simulator (see the equivalence tests), and it demonstrates
+// that the protocol logic has no hidden global state — each node acts on
+// (round, own receipt round) alone, so the same code drops onto real
+// message transports (package transport).
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
+)
+
+// Config describes a concurrent run.
+type Config struct {
+	// Topology must be static for the concurrent runtime (churn requires
+	// the sequential engine).
+	Topology phonecall.Topology
+	// Protocol is any strictly oblivious schedule.
+	Protocol phonecall.Protocol
+	// Source creates the message in round 0.
+	Source int
+	// Seed derives every node's private RNG stream.
+	Seed uint64
+	// ChannelFailureProb and MessageLossProb mirror the sequential engine.
+	ChannelFailureProb float64
+	MessageLossProb    float64
+	// StopEarly ends the run once all nodes are informed.
+	StopEarly bool
+}
+
+// Result summarises a concurrent run.
+type Result struct {
+	Rounds           int
+	Informed         int
+	AllInformed      bool
+	FirstAllInformed int
+	Transmissions    int64
+	InformedAt       []int32
+}
+
+// Run executes the configured broadcast with one goroutine per node.
+func Run(cfg Config) (Result, error) {
+	if cfg.Topology == nil || cfg.Protocol == nil {
+		return Result{}, fmt.Errorf("runtime: Config requires Topology and Protocol")
+	}
+	if _, dynamic := cfg.Topology.(phonecall.Stepper); dynamic {
+		return Result{}, fmt.Errorf("runtime: dynamic topologies are not supported; use the sequential engine")
+	}
+	n := cfg.Topology.NumNodes()
+	if cfg.Source < 0 || cfg.Source >= n {
+		return Result{}, fmt.Errorf("runtime: source %d out of range [0,%d)", cfg.Source, n)
+	}
+	if cfg.ChannelFailureProb < 0 || cfg.ChannelFailureProb > 1 ||
+		cfg.MessageLossProb < 0 || cfg.MessageLossProb > 1 {
+		return Result{}, fmt.Errorf("runtime: failure probabilities out of [0,1]")
+	}
+	k := cfg.Protocol.Choices()
+	if k < 1 {
+		return Result{}, fmt.Errorf("runtime: protocol dials %d < 1 neighbours", k)
+	}
+	horizon := cfg.Protocol.Horizon()
+	if horizon < 1 {
+		return Result{}, fmt.Errorf("runtime: protocol horizon %d < 1", horizon)
+	}
+
+	r := &runner{
+		cfg:     cfg,
+		topo:    cfg.Topology,
+		proto:   cfg.Protocol,
+		n:       n,
+		k:       k,
+		horizon: horizon,
+		barrier: newBarrier(n + 1), // nodes + coordinator
+	}
+	r.informedAt = make([]int32, n)
+	r.nextInformed = make([]int32, n)
+	for v := 0; v < n; v++ {
+		r.informedAt[v] = phonecall.Uninformed
+		r.nextInformed[v] = phonecall.Uninformed
+	}
+	r.informedAt[cfg.Source] = 0
+	r.informedCount.Store(1)
+	r.dials = make([]int32, n*k)
+
+	master := xrand.New(cfg.Seed)
+	rngs := make([]*xrand.Rand, n)
+	for v := range rngs {
+		rngs[v] = master.Split()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			r.nodeLoop(v, rngs[v])
+		}(v)
+	}
+
+	res := r.coordinate()
+	wg.Wait()
+
+	res.InformedAt = append([]int32(nil), r.informedAt...)
+	res.Informed = 0
+	for v := 0; v < n; v++ {
+		if r.informedAt[v] != phonecall.Uninformed {
+			res.Informed++
+		}
+	}
+	res.AllInformed = res.Informed == n
+	return res, nil
+}
+
+// runner holds the shared state of one concurrent run.
+type runner struct {
+	cfg     Config
+	topo    phonecall.Topology
+	proto   phonecall.Protocol
+	n, k    int
+	horizon int
+
+	barrier *barrier
+
+	// informedAt is only written during the commit phase (each node writes
+	// its own slot), so the exchange phase may read it freely.
+	informedAt []int32
+	// nextInformed[v] is CAS-claimed by the first successful delivery to v
+	// in the current round.
+	nextInformed []int32
+
+	dials         []int32 // n×k, each node writes only its own slots
+	transmissions atomic.Int64
+	informedCount atomic.Int64
+	stop          atomic.Bool
+}
+
+// nodeLoop is the per-node goroutine body: three barrier-separated phases
+// per round (dial, exchange, commit).
+func (r *runner) nodeLoop(v int, rng *xrand.Rand) {
+	dialIdx := make([]int, 0, r.k)
+	var scratch []int
+	for t := 1; t <= r.horizon; t++ {
+		// Phase A: dial.
+		base := v * r.k
+		for j := 0; j < r.k; j++ {
+			r.dials[base+j] = phonecall.Uninformed
+		}
+		deg := r.topo.Degree(v)
+		if deg > 0 {
+			kk := r.k
+			if kk > deg {
+				kk = deg
+			}
+			if cap(scratch) < deg {
+				scratch = make([]int, deg)
+			}
+			dialIdx = rng.DistinctK(dialIdx, kk, deg, scratch)
+			for j, idx := range dialIdx {
+				w := r.topo.Neighbor(v, idx)
+				if r.cfg.ChannelFailureProb > 0 && rng.Bool(r.cfg.ChannelFailureProb) {
+					continue
+				}
+				r.dials[base+j] = int32(w)
+			}
+		}
+		r.barrier.wait()
+
+		// Phase B: exchange. Push: v transmits over its dialled channels.
+		// Pull: v evaluates its *callees*' pull decisions (caller-driven
+		// evaluation is semantically identical and needs no incoming lists).
+		ia := r.informedAt[v]
+		if ia != phonecall.Uninformed && int(ia) < t && r.proto.SendPush(t, int(ia)) {
+			for j := 0; j < r.k; j++ {
+				w := r.dials[base+j]
+				if w < 0 {
+					continue
+				}
+				r.transmissions.Add(1)
+				if r.cfg.MessageLossProb > 0 && rng.Bool(r.cfg.MessageLossProb) {
+					continue
+				}
+				r.deliver(w, t)
+			}
+		}
+		for j := 0; j < r.k; j++ {
+			w := r.dials[base+j]
+			if w < 0 {
+				continue
+			}
+			wia := r.informedAt[w]
+			if wia == phonecall.Uninformed || int(wia) >= t {
+				continue
+			}
+			if !r.proto.SendPull(t, int(wia)) {
+				continue
+			}
+			r.transmissions.Add(1)
+			if r.cfg.MessageLossProb > 0 && rng.Bool(r.cfg.MessageLossProb) {
+				continue
+			}
+			r.deliver(int32(v), t)
+		}
+		r.barrier.wait()
+
+		// Phase C: commit own receipt, then synchronise with the
+		// coordinator's bookkeeping barrier.
+		if r.nextInformed[v] != phonecall.Uninformed {
+			r.informedAt[v] = r.nextInformed[v]
+			r.nextInformed[v] = phonecall.Uninformed
+			r.informedCount.Add(1)
+		}
+		r.barrier.wait()
+		if r.stop.Load() {
+			return
+		}
+	}
+}
+
+// deliver CAS-claims the receipt slot of w for round t.
+func (r *runner) deliver(w int32, t int) {
+	if r.informedAt[w] != phonecall.Uninformed {
+		return
+	}
+	ptr := &r.nextInformed[w]
+	atomic.CompareAndSwapInt32(ptr, phonecall.Uninformed, int32(t))
+}
+
+// coordinate participates in every barrier and tracks completion.
+func (r *runner) coordinate() Result {
+	res := Result{FirstAllInformed: -1}
+	for t := 1; t <= r.horizon; t++ {
+		r.barrier.wait() // end of dial phase
+		r.barrier.wait() // end of exchange phase
+		// Commit writes happen between barrier 2 and barrier 3, so the
+		// informed counter may only be read once every participant has
+		// arrived at barrier 3 — i.e. inside the barrier's action hook,
+		// which the last arriver runs while everyone else is parked.
+		stopNow := false
+		r.barrier.waitWithAction(func() {
+			res.Rounds = t
+			if int(r.informedCount.Load()) == r.n && res.FirstAllInformed < 0 {
+				res.FirstAllInformed = t
+			}
+			if r.cfg.StopEarly && res.FirstAllInformed > 0 {
+				r.stop.Store(true)
+				stopNow = true
+			}
+			if t == r.horizon {
+				r.stop.Store(true)
+			}
+		})
+		if stopNow {
+			break
+		}
+	}
+	res.Transmissions = r.transmissions.Load()
+	return res
+}
+
+// barrier is a reusable cyclic barrier for n participants. The last
+// participant to arrive may run an action while all others are parked.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	action func()
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n participants have arrived.
+func (b *barrier) wait() { b.waitWithAction(nil) }
+
+// waitWithAction is wait, and additionally runs action exactly once (in
+// the last arriver) before releasing the generation.
+func (b *barrier) waitWithAction(action func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if action != nil {
+		b.action = action
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		if b.action != nil {
+			b.action()
+			b.action = nil
+		}
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

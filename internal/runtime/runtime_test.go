@@ -1,0 +1,232 @@
+package runtime
+
+import (
+	"testing"
+
+	"regcast/internal/baseline"
+	"regcast/internal/core"
+	"regcast/internal/graph"
+	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
+)
+
+func testGraph(t *testing.T, n, d int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := graph.RandomRegular(n, d, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunValidation(t *testing.T) {
+	g := testGraph(t, 32, 4, 1)
+	push, err := baseline.NewPush(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{Protocol: push}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := Run(Config{Topology: phonecall.NewStatic(g)}); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	if _, err := Run(Config{Topology: phonecall.NewStatic(g), Protocol: push, Source: 99}); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := Run(Config{Topology: phonecall.NewStatic(g), Protocol: push, MessageLossProb: 2}); err == nil {
+		t.Error("bad loss prob accepted")
+	}
+}
+
+func TestConcurrentPushCompletes(t *testing.T) {
+	g := testGraph(t, 256, 6, 2)
+	push, err := baseline.NewPush(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topology: phonecall.NewStatic(g), Protocol: push, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatalf("informed %d/256", res.Informed)
+	}
+	if res.Transmissions == 0 || res.FirstAllInformed < 1 {
+		t.Errorf("result implausible: %+v", res)
+	}
+}
+
+func TestConcurrentFourChoiceCompletes(t *testing.T) {
+	const n = 512
+	g := testGraph(t, n, 6, 4)
+	proto, err := core.NewAlgorithm1(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topology: phonecall.NewStatic(g), Protocol: proto, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatalf("four-choice informed %d/%d", res.Informed, n)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := testGraph(t, 128, 6, 6)
+	proto, err := core.NewAlgorithm1(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() Result {
+		res, err := Run(Config{Topology: phonecall.NewStatic(g), Protocol: proto, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Transmissions != b.Transmissions {
+		t.Errorf("transmissions differ: %d vs %d (scheduling leaked into results)", a.Transmissions, b.Transmissions)
+	}
+	if a.FirstAllInformed != b.FirstAllInformed {
+		t.Errorf("completion round differs: %d vs %d", a.FirstAllInformed, b.FirstAllInformed)
+	}
+	for v := range a.InformedAt {
+		if a.InformedAt[v] != b.InformedAt[v] {
+			t.Fatalf("InformedAt[%d] differs: %d vs %d", v, a.InformedAt[v], b.InformedAt[v])
+		}
+	}
+}
+
+func TestStopEarly(t *testing.T) {
+	g := testGraph(t, 128, 6, 8)
+	push, err := baseline.NewPush(128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topology: phonecall.NewStatic(g), Protocol: push, Seed: 9, StopEarly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatal("incomplete")
+	}
+	if res.Rounds != res.FirstAllInformed {
+		t.Errorf("stopped at %d but completed at %d", res.Rounds, res.FirstAllInformed)
+	}
+	if res.Rounds >= push.Horizon() {
+		t.Errorf("StopEarly ran the full horizon (%d rounds)", res.Rounds)
+	}
+}
+
+func TestAgreesWithSequentialEngineTransmissions(t *testing.T) {
+	// The two engines implement the same model. Algorithm 1's transmission
+	// total is dominated by the deterministic Phase 2/3 budget, so across a
+	// handful of seeds the means must agree within a few percent.
+	const n, d, reps = 512, 6, 8
+	g := testGraph(t, n, d, 10)
+	proto, err := core.NewAlgorithm1(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqTx, conTx float64
+	for seed := uint64(0); seed < reps; seed++ {
+		sres, err := phonecall.Run(phonecall.Config{
+			Topology: phonecall.NewStatic(g), Protocol: proto, RNG: xrand.New(seed),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cres, err := Run(Config{Topology: phonecall.NewStatic(g), Protocol: proto, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sres.AllInformed || !cres.AllInformed {
+			t.Fatal("incomplete run")
+		}
+		seqTx += float64(sres.Transmissions)
+		conTx += float64(cres.Transmissions)
+	}
+	if ratio := conTx / seqTx; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("transmissions diverge: concurrent/sequential = %.3f", ratio)
+	}
+}
+
+func TestAgreesWithSequentialEngineRounds(t *testing.T) {
+	// Completion-round comparison uses the 1-choice push baseline, whose
+	// completion time is concentrated around log₂ n + ln n (unlike
+	// Algorithm 1's bimodal end-of-Phase-1 / start-of-Phase-2 split).
+	const n, d, reps = 512, 6, 10
+	g := testGraph(t, n, d, 11)
+	push, err := baseline.NewPush(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqRounds, conRounds float64
+	for seed := uint64(0); seed < reps; seed++ {
+		sres, err := phonecall.Run(phonecall.Config{
+			Topology: phonecall.NewStatic(g), Protocol: push, RNG: xrand.New(seed), StopEarly: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cres, err := Run(Config{Topology: phonecall.NewStatic(g), Protocol: push, Seed: seed, StopEarly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sres.AllInformed || !cres.AllInformed {
+			t.Fatal("incomplete run")
+		}
+		seqRounds += float64(sres.FirstAllInformed)
+		conRounds += float64(cres.FirstAllInformed)
+	}
+	if ratio := conRounds / seqRounds; ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("completion rounds diverge: concurrent/sequential = %.2f", ratio)
+	}
+}
+
+func TestMessageLossStillCounted(t *testing.T) {
+	g := testGraph(t, 64, 6, 11)
+	push, err := baseline.NewPush(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topology: phonecall.NewStatic(g), Protocol: push, Seed: 12, MessageLossProb: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Informed != 1 {
+		t.Errorf("informed %d with 100%% loss", res.Informed)
+	}
+	if res.Transmissions != int64(push.Horizon()) {
+		t.Errorf("transmissions %d, want %d (source pushes every round)", res.Transmissions, push.Horizon())
+	}
+}
+
+func TestPullProtocolConcurrent(t *testing.T) {
+	// Algorithm 2 exercises the caller-driven pull path.
+	const n = 256
+	d := 8
+	g := testGraph(t, n, d, 13)
+	proto, err := core.NewAlgorithm2(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Topology: phonecall.NewStatic(g), Protocol: proto, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatalf("Algorithm 2 concurrent informed %d/%d", res.Informed, n)
+	}
+}

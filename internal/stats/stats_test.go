@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if !almostEqual(s.Stddev, math.Sqrt(2.5), 1e-12) {
+		t.Errorf("stddev %v want %v", s.Stddev, math.Sqrt(2.5))
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Stddev != 0 || s.Median != 7 {
+		t.Fatalf("single-element summary %+v", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean([2,4]) != 3")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); !almostEqual(q, 2.5, 1e-12) {
+		t.Errorf("median = %v", q)
+	}
+	// Input must not be modified.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) not NaN")
+	}
+}
+
+func TestQuantileClamps(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 3 {
+		t.Error("out-of-range q not clamped")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95([]float64{1}) != 0 {
+		t.Error("CI95 of single sample should be 0")
+	}
+	xs := []float64{10, 12, 9, 11, 10, 12, 9, 11}
+	ci := CI95(xs)
+	if ci <= 0 || ci > 3 {
+		t.Errorf("CI95 = %v, implausible", ci)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 1, 1e-12) {
+		t.Errorf("fit %+v", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("short input not rejected")
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x not rejected")
+	}
+}
+
+func TestFitLineConstantY(t *testing.T) {
+	fit, err := FitLine([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 0, 1e-12) || !almostEqual(fit.Intercept, 5, 1e-12) {
+		t.Errorf("fit %+v", fit)
+	}
+}
+
+func TestPowerLawExponent(t *testing.T) {
+	// y = 3 x^2
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	e, err := PowerLawExponent(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e, 2, 1e-9) {
+		t.Errorf("exponent %v want 2", e)
+	}
+}
+
+func TestPowerLawExponentRejectsNonPositive(t *testing.T) {
+	if _, err := PowerLawExponent([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("negative x accepted")
+	}
+	if _, err := PowerLawExponent([]float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Error("zero y accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	if h.Under != 1 {
+		t.Errorf("Under = %d", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("Over = %d", h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogram(10, 0, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g, 2, 1e-12) {
+		t.Errorf("GeoMean = %v", g)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty GeoMean accepted")
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("zero element accepted")
+	}
+}
+
+func TestSummarizeMatchesQuantile(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e15 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Median == Quantile(xs, 0.5) && s.Min <= s.Median && s.Median <= s.Max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

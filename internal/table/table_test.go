@@ -1,0 +1,81 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringRendering(t *testing.T) {
+	tb := New("demo", "n", "rounds")
+	tb.AddRow(1024, 17)
+	tb.AddRow(2048, 19)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "1024") || !strings.Contains(out, "19") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestColumnAlignment(t *testing.T) {
+	tb := New("", "col", "x")
+	tb.AddRow("longvalue", 1)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and row must be the same width since the widest cell governs.
+	if len(lines[0]) != len(lines[2]) {
+		t.Errorf("misaligned:\n%s", out)
+	}
+}
+
+func TestShortAndLongRows(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.AddRow(1)          // short: padded
+	tb.AddRow(1, 2, 3, 4) // long: truncated
+	if len(tb.Rows[0]) != 2 || len(tb.Rows[1]) != 2 {
+		t.Fatalf("row normalisation failed: %v", tb.Rows)
+	}
+	if tb.Rows[0][1] != "" {
+		t.Error("padding cell not empty")
+	}
+	if tb.Rows[1][1] != "2" {
+		t.Error("truncation kept wrong cells")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("exp", "n", "v")
+	tb.AddRow(1, "x")
+	tb.AddNote("seed=%d", 42)
+	md := tb.Markdown()
+	for _, want := range []string{"### exp", "| n | v |", "| --- | --- |", "| 1 | x |", "*seed=42*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestNotesInString(t *testing.T) {
+	tb := New("t", "a")
+	tb.AddNote("hello %s", "world")
+	if !strings.Contains(tb.String(), "note: hello world") {
+		t.Error("note missing from plain rendering")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("empty", "a", "b")
+	out := tb.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("headers missing:\n%s", out)
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | b |") {
+		t.Errorf("markdown headers missing:\n%s", md)
+	}
+}

@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP is a loopback-socket transport: every node owns a listener on
+// 127.0.0.1, and each Send dials the target and writes one JSON-encoded
+// packet. It trades throughput for simplicity and full observability —
+// it exists so the examples can demonstrate the protocols over real
+// sockets, not to be a high-performance message bus.
+type TCP struct {
+	listeners []net.Listener
+	addrs     []string
+	boxes     []chan Packet
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP starts n loopback listeners and their accept loops.
+func NewTCP(n, mailbox int) (*TCP, error) {
+	if n <= 0 || mailbox <= 0 {
+		return nil, fmt.Errorf("transport: NewTCP(n=%d, mailbox=%d) invalid", n, mailbox)
+	}
+	t := &TCP{
+		listeners: make([]net.Listener, n),
+		addrs:     make([]string, n),
+		boxes:     make([]chan Packet, n),
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = t.Close()
+			return nil, fmt.Errorf("transport: listen for node %d: %w", i, err)
+		}
+		t.listeners[i] = ln
+		t.addrs[i] = ln.Addr().String()
+		t.boxes[i] = make(chan Packet, mailbox)
+	}
+	for i := 0; i < n; i++ {
+		t.wg.Add(1)
+		go t.acceptLoop(i)
+	}
+	return t, nil
+}
+
+// Addr returns the listen address of a node (useful for logging).
+func (t *TCP) Addr(node int) string { return t.addrs[node] }
+
+// acceptLoop accepts connections for node i and decodes one packet per
+// connection into the node's mailbox.
+func (t *TCP) acceptLoop(i int) {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listeners[i].Accept()
+		if err != nil {
+			// Listener closed: exit. The mailbox is closed by Close once
+			// every reader goroutine has drained (closing it here could
+			// race with an in-flight reader's send).
+			return
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer func() { _ = conn.Close() }()
+			var p Packet
+			if err := json.NewDecoder(conn).Decode(&p); err != nil {
+				return // malformed or truncated packet: drop
+			}
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return
+			}
+			select {
+			case t.boxes[i] <- p:
+			default:
+				// Full mailbox: drop, as a lossy datagram network would.
+			}
+		}()
+	}
+}
+
+// Send implements Transport: dial, encode one packet, close.
+func (t *TCP) Send(to int, p Packet) error {
+	if to < 0 || to >= len(t.addrs) {
+		return fmt.Errorf("transport: Send to %d out of range [0,%d)", to, len(t.addrs))
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("transport: Send on closed transport")
+	}
+	t.mu.Unlock()
+	conn, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return fmt.Errorf("transport: dial node %d: %w", to, err)
+	}
+	defer func() { _ = conn.Close() }()
+	p.To = to
+	if err := json.NewEncoder(conn).Encode(p); err != nil {
+		return fmt.Errorf("transport: encode to node %d: %w", to, err)
+	}
+	return nil
+}
+
+// Inbox implements Transport.
+func (t *TCP) Inbox(node int) <-chan Packet { return t.boxes[node] }
+
+// Close implements Transport: stops listeners and waits for all reader
+// goroutines to drain.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	for _, ln := range t.listeners {
+		if ln != nil {
+			_ = ln.Close()
+		}
+	}
+	t.wg.Wait()
+	for _, b := range t.boxes {
+		close(b)
+	}
+	return nil
+}

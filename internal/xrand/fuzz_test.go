@@ -1,0 +1,51 @@
+package xrand
+
+import "testing"
+
+// FuzzDistinctK drives DistinctK with arbitrary parameters and verifies
+// the core contract: exactly k distinct in-range values, regardless of
+// seed, k/n combination or scratch capacity.
+func FuzzDistinctK(f *testing.F) {
+	f.Add(uint64(1), uint16(4), uint16(16), uint8(0))
+	f.Add(uint64(2), uint16(0), uint16(1), uint8(3))
+	f.Add(uint64(3), uint16(100), uint16(100), uint8(50))
+	f.Add(uint64(4), uint16(5), uint16(1000), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, kRaw, nRaw uint16, scratchCap uint8) {
+		n := int(nRaw)%2000 + 1
+		k := int(kRaw) % (n + 1)
+		r := New(seed)
+		scratch := make([]int, int(scratchCap))
+		got := r.DistinctK(nil, k, n, scratch)
+		if len(got) != k {
+			t.Fatalf("len = %d, want %d", len(got), k)
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range got {
+			if v < 0 || v >= n {
+				t.Fatalf("value %d out of [0,%d)", v, n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate %d", v)
+			}
+			seen[v] = true
+		}
+	})
+}
+
+// FuzzUint64N verifies range correctness of the Lemire reduction.
+func FuzzUint64N(f *testing.F) {
+	f.Add(uint64(1), uint64(1))
+	f.Add(uint64(2), uint64(7))
+	f.Add(uint64(3), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, seed, n uint64) {
+		if n == 0 {
+			return
+		}
+		r := New(seed)
+		for i := 0; i < 16; i++ {
+			if v := r.Uint64N(n); v >= n {
+				t.Fatalf("Uint64N(%d) = %d", n, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,265 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator together with the sampling primitives the simulator needs
+// (k-distinct selection, shuffles, binomial and geometric variates).
+//
+// The generator is xoshiro256★★ seeded through SplitMix64, which gives
+// high-quality 64-bit output from a single user-supplied seed and supports
+// cheap "splitting": deriving independent child streams for per-node
+// randomness in the concurrent runtime. All randomness in this repository
+// flows through this package so that every simulation is reproducible from
+// one seed.
+package xrand
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Rand is a deterministic pseudo-random generator. It is NOT safe for
+// concurrent use; derive per-goroutine generators with Split.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitMix64 advances the given state and returns the next SplitMix64 output.
+// It is used only for seeding, as recommended by the xoshiro authors.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded deterministically from seed.
+func New(seed uint64) *Rand {
+	var r Rand
+	r.Seed(seed)
+	return &r
+}
+
+// Seed re-seeds the generator in place.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	r.s0 = splitMix64(&sm)
+	r.s1 = splitMix64(&sm)
+	r.s2 = splitMix64(&sm)
+	r.s3 = splitMix64(&sm)
+	// xoshiro must not start from the all-zero state; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1
+	}
+}
+
+// Uint64 returns the next 64 random bits (xoshiro256★★ step).
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Split returns a new generator whose stream is statistically independent of
+// the parent's. The child is seeded from the parent's output, so splitting is
+// itself deterministic.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Int63 returns a non-negative random int64.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// IntN returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) IntN(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("xrand: IntN called with n=%d", n))
+	}
+	return int(r.Uint64N(uint64(n)))
+}
+
+// Uint64N returns a uniform integer in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *Rand) Uint64N(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64N called with n=0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	switch {
+	case p <= 0:
+		return false
+	case p >= 1:
+		return true
+	default:
+		return r.Float64() < p
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomises the order of n elements using the provided swap
+// function (Fisher-Yates).
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		swap(i, j)
+	}
+}
+
+// DistinctK fills dst with k distinct uniform values from [0, n) and returns
+// dst[:k]. It panics if k > n or k < 0. The selection is a partial
+// Fisher-Yates over a caller-reusable scratch slice: if scratch has capacity
+// >= n it is reused, avoiding allocation on hot paths.
+//
+// The returned values are in random order (each k-subset and each ordering
+// is equally likely).
+func (r *Rand) DistinctK(dst []int, k, n int, scratch []int) []int {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("xrand: DistinctK k=%d n=%d", k, n))
+	}
+	dst = dst[:0]
+	if k == 0 {
+		return dst
+	}
+	// For very sparse selection, rejection sampling beats O(n) setup.
+	if n >= 64 && k*8 <= n {
+		return r.distinctKRejection(dst, k, n)
+	}
+	if cap(scratch) < n {
+		scratch = make([]int, n)
+	}
+	scratch = scratch[:n]
+	for i := range scratch {
+		scratch[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.IntN(n-i)
+		scratch[i], scratch[j] = scratch[j], scratch[i]
+		dst = append(dst, scratch[i])
+	}
+	return dst
+}
+
+// distinctKRejection draws k distinct values by rejection; only used when k
+// is small relative to n so the expected number of retries is O(1).
+func (r *Rand) distinctKRejection(dst []int, k, n int) []int {
+	for len(dst) < k {
+		v := r.IntN(n)
+		dup := false
+		for _, u := range dst {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// Binomial returns a Binomial(n, p) variate. For small n it sums Bernoulli
+// trials; for large n it uses a normal approximation with continuity
+// correction, clamped to [0, n]. The approximation is adequate for the
+// statistical sanity checks in this repository (not for cryptography or
+// exact tail computations).
+func (r *Rand) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		c := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				c++
+			}
+		}
+		return c
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	v := int(math.Round(mean + sd*r.NormFloat64()))
+	if v < 0 {
+		v = 0
+	}
+	if v > n {
+		v = n
+	}
+	return v
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials (support {0, 1, 2, ...}). It panics if p <= 0 or p > 1.
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("xrand: Geometric p=%v", p))
+	}
+	if p == 1 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Exp returns an exponential variate with rate lambda.
+func (r *Rand) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic(fmt.Sprintf("xrand: Exp lambda=%v", lambda))
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / lambda
+}
