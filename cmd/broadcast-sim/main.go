@@ -4,6 +4,7 @@
 // Usage:
 //
 //	broadcast-sim -n 4096 -d 8 -protocol fourchoice -seed 1 -trace
+//	broadcast-sim -n 1000000 -d 16 -protocol push -workers -1   # sharded engine
 //
 // Protocols: fourchoice (auto variant), algorithm1, algorithm2, seq
 // (sequentialised four-choice), push, pull, pushpull.
@@ -41,6 +42,7 @@ func run() error {
 		loss     = flag.Float64("loss", 0, "per-transmission message loss probability")
 		source   = flag.Int("source", 0, "source node id")
 		trace    = flag.Bool("trace", false, "print a per-round trace")
+		workers  = flag.Int("workers", 0, "engine workers: 0 = classic sequential engine, -1 = GOMAXPROCS (sharded), n = n workers (sharded)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,7 @@ func run() error {
 		ChannelFailureProb: *failure,
 		MessageLossProb:    *loss,
 		RecordRounds:       *trace,
+		Workers:            *workers,
 	}
 	opts := []core.Option{core.WithAlpha(*alpha), core.WithChoices(*choices)}
 	switch *protoSel {

@@ -7,6 +7,7 @@
 //	experiments -run E2,E4       # a subset
 //	experiments -quick           # the fast CI profile
 //	experiments -markdown        # GitHub-flavoured Markdown output
+//	experiments -parallel        # broadcasts on the sharded engine
 package main
 
 import (
@@ -31,8 +32,13 @@ func run() error {
 		quick    = flag.Bool("quick", false, "use the fast profile (smaller sweeps)")
 		markdown = flag.Bool("markdown", false, "emit Markdown instead of plain text")
 		seed     = flag.Uint64("seed", 1, "master seed")
+		parallel = flag.Bool("parallel", false, "run broadcasts on the sharded parallel engine with GOMAXPROCS workers (same as -workers -1)")
+		workers  = flag.Int("workers", 0, "engine workers, matching broadcast-sim: 0 = classic sequential engine (unless -parallel), -1 = GOMAXPROCS (sharded), n = n workers (sharded)")
 	)
 	flag.Parse()
+	if *workers < -1 {
+		return fmt.Errorf("-workers %d invalid (use -1, 0 or a positive count)", *workers)
+	}
 
 	var selected []experiments.Experiment
 	if *runIDs == "" {
@@ -48,7 +54,15 @@ func run() error {
 		}
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallel: *parallel}
+	if *workers != 0 {
+		// Any explicit worker count selects the sharded engine; -1 maps to
+		// Options.Workers == 0, i.e. GOMAXPROCS.
+		opts.Parallel = true
+		if *workers > 0 {
+			opts.Workers = *workers
+		}
+	}
 	for _, e := range selected {
 		if *markdown {
 			fmt.Printf("## %s — %s\n\n", e.ID, e.Title)

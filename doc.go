@@ -2,7 +2,8 @@
 // Regular Networks with Applications in Peer-to-Peer Systems" (Berenbrink,
 // Elsässer, Friedetzky; PODC 2008 / Distributed Computing 2016) as a Go
 // library: the four-choice phased broadcast protocols (internal/core), the
-// random phone call simulator (internal/phonecall), random-regular-graph
+// random phone call simulator with its sharded parallel round engine
+// (internal/phonecall), random-regular-graph
 // generation and analysis (internal/graph, internal/spectral), the
 // strictly-oblivious lower-bound machinery (internal/oblivious), baseline
 // gossip protocols (internal/baseline), a churning P2P overlay and a

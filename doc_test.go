@@ -1,0 +1,46 @@
+package regcast_test
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestDocReferencesExist cross-checks doc.go: every file it names
+// (README.md, DESIGN.md, EXPERIMENTS.md, bench_test.go, ...) and every
+// package directory it mentions must actually exist, so the package
+// documentation can never dangle again.
+func TestDocReferencesExist(t *testing.T) {
+	src, err := os.ReadFile("doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fileRe := regexp.MustCompile(`[A-Za-z0-9_]+\.(?:md|go)`)
+	files := fileRe.FindAllString(string(src), -1)
+	if len(files) == 0 {
+		t.Fatal("doc.go names no files; the cross-check is vacuous")
+	}
+	seen := map[string]bool{}
+	for _, f := range files {
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("doc.go references %s, which does not exist: %v", f, err)
+		}
+	}
+	for _, want := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "bench_test.go"} {
+		if !seen[want] {
+			t.Errorf("doc.go no longer references %s; keep the guided-tour pointers", want)
+		}
+	}
+
+	pkgRe := regexp.MustCompile(`internal/[a-z0-9/]+`)
+	for _, dir := range pkgRe.FindAllString(string(src), -1) {
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			t.Errorf("doc.go references package %s, which is not a directory", dir)
+		}
+	}
+}

@@ -41,6 +41,9 @@ func main() {
 			Protocol: proto,
 			Source:   0,
 			RNG:      master.Split(),
+			// The sharded engine: GOMAXPROCS workers, results reproducible
+			// from the seed and independent of the worker count.
+			Workers: phonecall.WorkersAuto,
 		})
 		if err != nil {
 			log.Fatal(err)

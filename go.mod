@@ -1,0 +1,3 @@
+module regcast
+
+go 1.22

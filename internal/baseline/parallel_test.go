@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"testing"
+
+	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
+)
+
+// TestBaselinesParallelDeterminism checks the determinism contract of the
+// sharded engine for all three baseline schedules: same seed ⇒ identical
+// informed-round traces for 1 vs 8 workers.
+func TestBaselinesParallelDeterminism(t *testing.T) {
+	const n, d = 1 << 10, 8
+	g := testGraph(t, n, d, 23)
+
+	push, err := NewPush(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, err := NewPull(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NewPushPull(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, proto := range []phonecall.Protocol{push, pull, pp} {
+		t.Run(proto.Name(), func(t *testing.T) {
+			run := func(workers int) phonecall.Result {
+				res, err := phonecall.Run(phonecall.Config{
+					Topology: phonecall.NewStatic(g),
+					Protocol: proto,
+					Source:   11,
+					RNG:      xrand.New(987),
+					Workers:  workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(1), run(8)
+			if a.Transmissions != b.Transmissions || a.FirstAllInformed != b.FirstAllInformed ||
+				a.Informed != b.Informed {
+				t.Fatalf("worker counts disagree: %+v vs %+v", a, b)
+			}
+			for v := range a.InformedAt {
+				if a.InformedAt[v] != b.InformedAt[v] {
+					t.Fatalf("InformedAt[%d]: %d vs %d", v, a.InformedAt[v], b.InformedAt[v])
+				}
+			}
+		})
+	}
+}

@@ -78,6 +78,7 @@ func runE9(o Options) ([]*table.Table, error) {
 			Source:       0,
 			RNG:          master.Split(),
 			RecordRounds: true,
+			Workers:      engineWorkers(o),
 		})
 		if err != nil {
 			return nil, err
@@ -142,7 +143,7 @@ func runE10(o Options) ([]*table.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, err := measure(g, proto, master.Uint64(), reps, nil)
+			st, err := measure(o, g, proto, master.Uint64(), reps, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -172,11 +173,11 @@ func runE11(o Options) ([]*table.Table, error) {
 			return nil, err
 		}
 		seq := core.NewSequentialised(base)
-		stBase, err := measure(g, base, master.Uint64(), reps, nil)
+		stBase, err := measure(o, g, base, master.Uint64(), reps, nil)
 		if err != nil {
 			return nil, err
 		}
-		stSeq, err := measure(g, seq, master.Uint64(), reps, func(c *phonecall.Config) {
+		stSeq, err := measure(o, g, seq, master.Uint64(), reps, func(c *phonecall.Config) {
 			c.AvoidRecent = seq.Memory()
 		})
 		if err != nil {

@@ -55,7 +55,7 @@ func runE4(o Options) ([]*table.Table, error) {
 			return nil, err
 		}
 		for _, proto := range []phonecall.Protocol{push, both, ptp} {
-			st, err := measure(g, proto, master.Uint64(), reps, func(c *phonecall.Config) { c.StopEarly = true })
+			st, err := measure(o, g, proto, master.Uint64(), reps, func(c *phonecall.Config) { c.StopEarly = true })
 			if err != nil {
 				return nil, err
 			}

@@ -59,7 +59,7 @@ func runE20(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := measure(g, proto, master.Uint64(), reps, nil)
+		st, err := measure(o, g, proto, master.Uint64(), reps, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -49,7 +49,7 @@ func init() {
 // β (long Phase 2, so the decay is observable over several rounds) —
 // with the default constants the Phase 1 cascade already covers the graph
 // at laptop sizes. It returns per-round metrics.
-func phaseProfileRun(n, d int, alpha, beta float64, seed uint64, trackEdges bool) (*core.FourChoice, phonecall.Result, *graph.Graph, error) {
+func phaseProfileRun(o Options, n, d int, alpha, beta float64, seed uint64, trackEdges bool) (*core.FourChoice, phonecall.Result, *graph.Graph, error) {
 	master := xrand.New(seed)
 	g, err := regular(n, d, master.Split())
 	if err != nil {
@@ -66,6 +66,7 @@ func phaseProfileRun(n, d int, alpha, beta float64, seed uint64, trackEdges bool
 		RNG:          master.Split(),
 		RecordRounds: true,
 		TrackEdgeUse: trackEdges,
+		Workers:      engineWorkers(o),
 	})
 	return proto, res, g, err
 }
@@ -76,7 +77,7 @@ func runE5(o Options) ([]*table.Table, error) {
 		n = 1 << 12
 	}
 	const d = 8
-	proto, res, _, err := phaseProfileRun(n, d, core.DefaultAlpha, core.DefaultBeta, o.Seed, false)
+	proto, res, _, err := phaseProfileRun(o, n, d, core.DefaultAlpha, core.DefaultBeta, o.Seed, false)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +121,7 @@ func runE6(o Options) ([]*table.Table, error) {
 	// α = 0.4 keeps Phase 1 short enough that Phase 2 receives a
 	// non-trivial uninformed set to shrink.
 	const alpha = 0.4
-	proto, res, _, err := phaseProfileRun(n, d, alpha, 2.5, o.Seed, false)
+	proto, res, _, err := phaseProfileRun(o, n, d, alpha, 2.5, o.Seed, false)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +153,7 @@ func runE7(o Options) ([]*table.Table, error) {
 	}
 	const d = 8
 	const alpha = 0.4
-	proto, res, _, err := phaseProfileRun(n, d, alpha, 2.5, o.Seed, true)
+	proto, res, _, err := phaseProfileRun(o, n, d, alpha, 2.5, o.Seed, true)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +191,7 @@ func runE8(o Options) ([]*table.Table, error) {
 	used := 0
 	master := xrand.New(o.Seed)
 	for r := 0; r < reps; r++ {
-		_, res, g, err := phaseProfileRun(n, d, 0.6, 2.5, master.Uint64(), false)
+		_, res, g, err := phaseProfileRun(o, n, d, 0.6, 2.5, master.Uint64(), false)
 		if err != nil {
 			return nil, err
 		}

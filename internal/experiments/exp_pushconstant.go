@@ -46,7 +46,7 @@ func runE19(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := measure(g, push, master.Uint64(), reps, func(c *phonecall.Config) { c.StopEarly = true })
+		st, err := measure(o, g, push, master.Uint64(), reps, func(c *phonecall.Config) { c.StopEarly = true })
 		if err != nil {
 			return nil, err
 		}

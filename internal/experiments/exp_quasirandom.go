@@ -38,13 +38,13 @@ func runE17(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		stUni, err := measure(g, push, master.Uint64(), reps, func(c *phonecall.Config) {
+		stUni, err := measure(o, g, push, master.Uint64(), reps, func(c *phonecall.Config) {
 			c.StopEarly = true
 		})
 		if err != nil {
 			return nil, err
 		}
-		stQuasi, err := measure(g, push, master.Uint64(), reps, func(c *phonecall.Config) {
+		stQuasi, err := measure(o, g, push, master.Uint64(), reps, func(c *phonecall.Config) {
 			c.StopEarly = true
 			c.DialStrategy = phonecall.DialQuasirandom
 		})

@@ -48,7 +48,7 @@ func runE12(o Options) ([]*table.Table, error) {
 	chans := table.New(fmt.Sprintf("E12a: channel-failure sweep, n=%d d=%d", n, d),
 		"failure prob", "completed", "informed frac", "rounds (mean)", "tx/n")
 	for _, p := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
-		st, err := measure(g, proto, master.Uint64(), reps, func(c *phonecall.Config) {
+		st, err := measure(o, g, proto, master.Uint64(), reps, func(c *phonecall.Config) {
 			c.ChannelFailureProb = p
 		})
 		if err != nil {
@@ -61,7 +61,7 @@ func runE12(o Options) ([]*table.Table, error) {
 	loss := table.New(fmt.Sprintf("E12b: message-loss sweep, n=%d d=%d", n, d),
 		"loss prob", "completed", "informed frac", "rounds (mean)", "tx/n")
 	for _, p := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
-		st, err := measure(g, proto, master.Uint64(), reps, func(c *phonecall.Config) {
+		st, err := measure(o, g, proto, master.Uint64(), reps, func(c *phonecall.Config) {
 			c.MessageLossProb = p
 		})
 		if err != nil {
@@ -95,7 +95,7 @@ func runE13(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := measure(g, proto, master.Uint64(), reps, nil)
+		st, err := measure(o, g, proto, master.Uint64(), reps, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -127,6 +127,7 @@ func runE13(o Options) ([]*table.Table, error) {
 				Protocol: proto,
 				Source:   0,
 				RNG:      master.Split(),
+				Workers:  engineWorkers(o),
 			})
 			if err != nil {
 				return nil, err

@@ -52,7 +52,7 @@ func runE1(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := measure(g, proto, master.Uint64(), reps, nil)
+		st, err := measure(o, g, proto, master.Uint64(), reps, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -97,19 +97,19 @@ func runE2(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		stFour, err := measure(g, four, master.Uint64(), reps, nil)
+		stFour, err := measure(o, g, four, master.Uint64(), reps, nil)
 		if err != nil {
 			return nil, err
 		}
-		stPushFixed, err := measure(g, push, master.Uint64(), reps, nil)
+		stPushFixed, err := measure(o, g, push, master.Uint64(), reps, nil)
 		if err != nil {
 			return nil, err
 		}
-		stPushStop, err := measure(g, push, master.Uint64(), reps, func(c *phonecall.Config) { c.StopEarly = true })
+		stPushStop, err := measure(o, g, push, master.Uint64(), reps, func(c *phonecall.Config) { c.StopEarly = true })
 		if err != nil {
 			return nil, err
 		}
-		stPP, err := measure(g, pp, master.Uint64(), reps, nil)
+		stPP, err := measure(o, g, pp, master.Uint64(), reps, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -166,6 +166,7 @@ func phaseBudgetTable(o Options, d int) (*table.Table, error) {
 		Source:       0,
 		RNG:          master.Split(),
 		RecordRounds: true,
+		Workers:      engineWorkers(o),
 	})
 	if err != nil {
 		return nil, err
@@ -207,7 +208,7 @@ func runE3(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := measure(g, proto, master.Uint64(), reps, nil)
+		st, err := measure(o, g, proto, master.Uint64(), reps, nil)
 		if err != nil {
 			return nil, err
 		}

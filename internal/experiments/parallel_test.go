@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+
+	"regcast/internal/phonecall"
+)
+
+// TestEngineWorkers checks the Options → phonecall.Config.Workers mapping.
+func TestEngineWorkers(t *testing.T) {
+	cases := []struct {
+		o    Options
+		want int
+	}{
+		{Options{}, 0},
+		{Options{Workers: 8}, 8}, // Workers alone selects the sharded engine
+		{Options{Workers: phonecall.WorkersAuto}, phonecall.WorkersAuto},
+		{Options{Parallel: true}, phonecall.WorkersAuto},
+		{Options{Parallel: true, Workers: 4}, 4},
+	}
+	for _, tc := range cases {
+		if got := engineWorkers(tc.o); got != tc.want {
+			t.Errorf("engineWorkers(%+v) = %d, want %d", tc.o, got, tc.want)
+		}
+	}
+}
+
+// TestParallelProfileDeterministicAndComplete reruns a representative
+// experiment in the parallel profile: results must be identical across
+// repeated runs (seeded) and across worker counts.
+func TestParallelProfileDeterministicAndComplete(t *testing.T) {
+	e, ok := ByID("E1")
+	if !ok {
+		t.Fatal("E1 not registered")
+	}
+	run := func(workers int) string {
+		tables, err := e.Run(Options{Seed: 11, Quick: true, Parallel: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, tb := range tables {
+			out += tb.String()
+		}
+		return out
+	}
+	one := run(1)
+	if eight := run(8); one != eight {
+		t.Errorf("E1 parallel profile differs between 1 and 8 workers:\n%s\nvs\n%s", one, eight)
+	}
+}

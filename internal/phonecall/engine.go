@@ -71,6 +71,20 @@ type Config struct {
 	// Leave it false to measure the transmission cost of the full schedule
 	// (the honest accounting used throughout EXPERIMENTS.md).
 	StopEarly bool
+	// Workers selects the engine implementation. 0 (the default) runs the
+	// classic single-stream sequential engine, preserving the exact RNG
+	// consumption order of earlier releases. Any value >= 1 runs the
+	// sharded engine (see parallel.go) with min(Workers, Shards) worker
+	// goroutines; Workers == 1 executes the shard passes inline and is the
+	// sequential special case of the parallel path. WorkersAuto (-1) uses
+	// GOMAXPROCS workers. For a fixed seed and shard count the sharded
+	// engine's results are bit-identical for every worker count.
+	Workers int
+	// Shards is the number of node partitions (and independent PRNG
+	// streams) of the sharded engine; 0 means DefaultShards. The shard
+	// count — not the worker count — determines the trace, so keep it
+	// fixed when comparing runs. Ignored when Workers == 0.
+	Shards int
 }
 
 // RoundMetrics captures the state of one simulated round.
@@ -115,7 +129,6 @@ type Engine struct {
 	cfg   Config
 	topo  Topology
 	proto Protocol
-	rng   *xrand.Rand
 
 	n          int
 	k          int
@@ -124,9 +137,15 @@ type Engine struct {
 	pending    []int32   // nodes newly informed in the current round
 	isPending  []bool
 
-	dialTargets []int32 // flat n×k; Uninformed (-1) marks "no channel"
-	scratch     []int
-	dialIdx     []int
+	dialTargets []int32   // flat n×k; Uninformed (-1) marks "no channel"
+	seq         dialState // RNG + scratch of the sequential path
+
+	// sharded-engine state (Config.Workers != 0); see parallel.go
+	workers    int
+	shards     []parShard
+	roundCount []int64 // nodes currently informed at round r, by r
+	pushDec    []bool  // per-round SendPush decision table, by informedAt
+	pullDec    []bool  // per-round SendPull decision table, by informedAt
 
 	// memory for the sequentialised model (AvoidRecent > 0)
 	recent    []int32 // flat n×AvoidRecent ring of recent partners
@@ -186,11 +205,16 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.DialStrategy == DialQuasirandom && cfg.AvoidRecent > 0 {
 		return nil, fmt.Errorf("phonecall: DialQuasirandom is incompatible with AvoidRecent")
 	}
+	if cfg.Workers < WorkersAuto {
+		return nil, fmt.Errorf("phonecall: Workers %d invalid (use WorkersAuto, 0 or a positive count)", cfg.Workers)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("phonecall: Shards %d < 0", cfg.Shards)
+	}
 	e := &Engine{
 		cfg:   cfg,
 		topo:  cfg.Topology,
 		proto: cfg.Protocol,
-		rng:   cfg.RNG,
 		n:     n,
 		k:     cfg.Protocol.Choices(),
 	}
@@ -201,7 +225,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.groups = make([][]int32, cfg.Protocol.Horizon()+1)
 	e.isPending = make([]bool, n)
 	e.dialTargets = make([]int32, n*e.k)
-	e.dialIdx = make([]int, 0, e.k)
+	e.seq = dialState{rng: cfg.RNG, dialIdx: make([]int, 0, e.k)}
 	if cfg.AvoidRecent > 0 {
 		e.recent = make([]int32, n*cfg.AvoidRecent)
 		for i := range e.recent {
@@ -243,11 +267,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 		e.staticBudget = total
 	}
+	if cfg.Workers != 0 {
+		e.initShards()
+	}
 	return e, nil
 }
 
 // Run executes the full schedule and returns the result.
 func (e *Engine) Run() Result {
+	if e.cfg.Workers != 0 {
+		return e.runSharded()
+	}
 	res := Result{FirstAllInformed: -1}
 	e.informedAt[e.cfg.Source] = 0
 	e.groups[0] = append(e.groups[0], int32(e.cfg.Source))
@@ -295,7 +325,7 @@ func (e *Engine) Run() Result {
 						continue // stale entry (node churned out / reset)
 					}
 					if !dialAll {
-						e.sampleDialsFor(int(v))
+						e.sampleDialsFor(int(v), &e.seq)
 					}
 					base := int(v) * e.k
 					for j := 0; j < e.k; j++ {
@@ -305,7 +335,7 @@ func (e *Engine) Run() Result {
 						}
 						roundTx++
 						e.markUsed(int(v), int(w))
-						if e.cfg.MessageLossProb > 0 && e.rng.Bool(e.cfg.MessageLossProb) {
+						if e.cfg.MessageLossProb > 0 && e.seq.rng.Bool(e.cfg.MessageLossProb) {
 							continue
 						}
 						e.deliver(w, t)
@@ -336,7 +366,7 @@ func (e *Engine) Run() Result {
 					}
 					roundTx++
 					e.markUsed(v, int(w))
-					if e.cfg.MessageLossProb > 0 && e.rng.Bool(e.cfg.MessageLossProb) {
+					if e.cfg.MessageLossProb > 0 && e.seq.rng.Bool(e.cfg.MessageLossProb) {
 						continue
 					}
 					e.deliver(int32(v), t)
@@ -356,28 +386,7 @@ func (e *Engine) Run() Result {
 		e.pending = e.pending[:0]
 		informedCount += newly
 
-		budget := e.dialBudget()
-		res.Transmissions += roundTx
-		res.ChannelsDialed += budget
-		res.Rounds = t
-
-		if e.cfg.RecordRounds {
-			rm := RoundMetrics{
-				Round:         t,
-				NewlyInformed: newly,
-				Informed:      informedCount,
-				Transmissions: roundTx,
-				ChannelsDial:  budget,
-			}
-			if e.cfg.TrackEdgeUse {
-				for v := 0; v < e.n; v++ {
-					if e.unusedDeg[v] > 0 {
-						rm.UnusedEdgeNodes++
-					}
-				}
-			}
-			res.PerRound = append(res.PerRound, rm)
-		}
+		e.recordRound(&res, t, newly, informedCount, roundTx)
 
 		// Churn happens between rounds. Joiners start uninformed, and both
 		// joins and departures invalidate the incremental informed counter.
@@ -389,19 +398,60 @@ func (e *Engine) Run() Result {
 			informedCount = e.recount()
 		}
 
-		if alive := e.aliveCount(); informedCount >= alive {
-			if res.FirstAllInformed < 0 {
-				res.FirstAllInformed = t
-			}
-			if e.cfg.StopEarly {
-				break
-			}
-		} else if stepper != nil {
-			// Churn can re-introduce uninformed nodes after completion.
-			res.FirstAllInformed = -1
+		if e.noteCompletion(&res, t, informedCount, stepper != nil) {
+			break
 		}
 	}
 
+	e.finishResult(&res)
+	return res
+}
+
+// recordRound charges the round's totals to res and, when RecordRounds is
+// set, appends the per-round metrics (both engine paths share it).
+func (e *Engine) recordRound(res *Result, t, newly, informedCount int, roundTx int64) {
+	budget := e.dialBudget()
+	res.Transmissions += roundTx
+	res.ChannelsDialed += budget
+	res.Rounds = t
+	if !e.cfg.RecordRounds {
+		return
+	}
+	rm := RoundMetrics{
+		Round:         t,
+		NewlyInformed: newly,
+		Informed:      informedCount,
+		Transmissions: roundTx,
+		ChannelsDial:  budget,
+	}
+	if e.cfg.TrackEdgeUse {
+		for v := 0; v < e.n; v++ {
+			if e.unusedDeg[v] > 0 {
+				rm.UnusedEdgeNodes++
+			}
+		}
+	}
+	res.PerRound = append(res.PerRound, rm)
+}
+
+// noteCompletion updates FirstAllInformed after round t and reports
+// whether the run should stop early. Churn can re-introduce uninformed
+// nodes after completion, which resets the completion round.
+func (e *Engine) noteCompletion(res *Result, t, informedCount int, churning bool) (stop bool) {
+	if informedCount >= e.aliveCount() {
+		if res.FirstAllInformed < 0 {
+			res.FirstAllInformed = t
+		}
+		return e.cfg.StopEarly
+	}
+	if churning {
+		res.FirstAllInformed = -1
+	}
+	return false
+}
+
+// finishResult fills the end-of-run summary fields from the final state.
+func (e *Engine) finishResult(res *Result) {
 	res.AliveNodes = e.aliveCount()
 	res.Informed = 0
 	for v := 0; v < e.n; v++ {
@@ -411,7 +461,14 @@ func (e *Engine) Run() Result {
 	}
 	res.AllInformed = res.Informed == res.AliveNodes && res.AliveNodes > 0
 	res.InformedAt = append([]int32(nil), e.informedAt...)
-	return res
+}
+
+// edgeKey canonically encodes the undirected edge (v,w).
+func edgeKey(v, w int) int64 {
+	if v > w {
+		v, w = w, v
+	}
+	return int64(v)<<32 | int64(w)
 }
 
 // markUsed records that edge (v,w) carried a transmission (Lemma 4's
@@ -421,17 +478,18 @@ func (e *Engine) markUsed(v, w int) {
 	if e.usedEdges == nil {
 		return
 	}
-	a, b := v, w
-	if a > b {
-		a, b = b, a
-	}
-	key := int64(a)<<32 | int64(b)
+	e.markUsedKey(edgeKey(v, w))
+}
+
+// markUsedKey is markUsed for a pre-encoded edge key (the sharded engine
+// buffers keys per shard and merges them here, in shard order).
+func (e *Engine) markUsedKey(key int64) {
 	if _, done := e.usedEdges[key]; done {
 		return
 	}
 	e.usedEdges[key] = struct{}{}
-	e.unusedDeg[v]--
-	e.unusedDeg[w]--
+	e.unusedDeg[int(key>>32)]--
+	e.unusedDeg[int(key&0xffffffff)]--
 }
 
 // deliver marks w as newly informed in round t unless already informed or
@@ -447,11 +505,29 @@ func (e *Engine) deliver(w int32, t int) {
 	e.pending = append(e.pending, w)
 }
 
+// dialState bundles a PRNG stream with its reusable sampling scratch.
+// The sequential path owns one; every shard of the parallel engine owns
+// its own, which is what makes the per-shard passes race-free and
+// deterministic regardless of worker count.
+type dialState struct {
+	rng     *xrand.Rand
+	dialIdx []int
+	scratch []int
+}
+
+// scratchFor returns a scratch slice with capacity >= n for DistinctK.
+func (ds *dialState) scratchFor(n int) []int {
+	if cap(ds.scratch) < n {
+		ds.scratch = make([]int, n)
+	}
+	return ds.scratch
+}
+
 // sampleAllDials samples the dial targets of every alive node.
 func (e *Engine) sampleAllDials() {
 	for v := 0; v < e.n; v++ {
 		if e.topo.Alive(v) {
-			e.sampleDialsFor(v)
+			e.sampleDialsFor(v, &e.seq)
 		} else {
 			base := v * e.k
 			for j := 0; j < e.k; j++ {
@@ -462,8 +538,10 @@ func (e *Engine) sampleAllDials() {
 }
 
 // sampleDialsFor fills e.dialTargets for node v: min(k, deg) distinct
-// neighbours, with dead targets and failed channels recorded as -1.
-func (e *Engine) sampleDialsFor(v int) {
+// neighbours, with dead targets and failed channels recorded as -1. All
+// randomness is drawn from ds, which must own node v (the engine-level
+// state for the sequential path, the owning shard's for the parallel one).
+func (e *Engine) sampleDialsFor(v int, ds *dialState) {
 	base := v * e.k
 	for j := 0; j < e.k; j++ {
 		e.dialTargets[base+j] = Uninformed
@@ -473,24 +551,24 @@ func (e *Engine) sampleDialsFor(v int) {
 		return
 	}
 	if e.cfg.AvoidRecent > 0 {
-		e.sampleWithMemory(v, deg)
+		e.sampleWithMemory(v, deg, ds)
 		return
 	}
 	if e.cfg.DialStrategy == DialQuasirandom {
-		e.sampleQuasirandom(v, deg)
+		e.sampleQuasirandom(v, deg, ds)
 		return
 	}
 	kk := e.k
 	if kk > deg {
 		kk = deg
 	}
-	e.dialIdx = e.rng.DistinctK(e.dialIdx, kk, deg, e.scratchFor(deg))
-	for j, idx := range e.dialIdx {
+	ds.dialIdx = ds.rng.DistinctK(ds.dialIdx, kk, deg, ds.scratchFor(deg))
+	for j, idx := range ds.dialIdx {
 		w := e.topo.Neighbor(v, idx)
 		if !e.topo.Alive(w) {
 			continue
 		}
-		if e.cfg.ChannelFailureProb > 0 && e.rng.Bool(e.cfg.ChannelFailureProb) {
+		if e.cfg.ChannelFailureProb > 0 && ds.rng.Bool(e.cfg.ChannelFailureProb) {
 			continue
 		}
 		e.dialTargets[base+j] = int32(w)
@@ -500,10 +578,10 @@ func (e *Engine) sampleDialsFor(v int) {
 // sampleQuasirandom dials the next k entries of v's neighbour list,
 // drawing a uniform start position on the first dial (Doerr et al.'s
 // quasirandom model).
-func (e *Engine) sampleQuasirandom(v, deg int) {
+func (e *Engine) sampleQuasirandom(v, deg int, ds *dialState) {
 	base := v * e.k
 	if e.listCursor[v] < 0 {
-		e.listCursor[v] = int32(e.rng.IntN(deg))
+		e.listCursor[v] = int32(ds.rng.IntN(deg))
 	}
 	kk := e.k
 	if kk > deg {
@@ -515,7 +593,7 @@ func (e *Engine) sampleQuasirandom(v, deg int) {
 		if !e.topo.Alive(w) {
 			continue
 		}
-		if e.cfg.ChannelFailureProb > 0 && e.rng.Bool(e.cfg.ChannelFailureProb) {
+		if e.cfg.ChannelFailureProb > 0 && ds.rng.Bool(e.cfg.ChannelFailureProb) {
 			continue
 		}
 		e.dialTargets[base+j] = int32(w)
@@ -527,12 +605,12 @@ func (e *Engine) sampleQuasirandom(v, deg int) {
 // per round, chosen uniformly among neighbours not contacted in the last
 // AvoidRecent rounds. If every neighbour is recent (possible only when
 // degree <= AvoidRecent), the choice falls back to uniform.
-func (e *Engine) sampleWithMemory(v, deg int) {
+func (e *Engine) sampleWithMemory(v, deg int, ds *dialState) {
 	r := e.cfg.AvoidRecent
 	memBase := v * r
 	choice := -1
 	for attempt := 0; attempt < 4*deg+16; attempt++ {
-		idx := e.rng.IntN(deg)
+		idx := ds.rng.IntN(deg)
 		w := e.topo.Neighbor(v, idx)
 		recent := false
 		for i := 0; i < r; i++ {
@@ -547,7 +625,7 @@ func (e *Engine) sampleWithMemory(v, deg int) {
 		}
 	}
 	if choice < 0 {
-		choice = e.topo.Neighbor(v, e.rng.IntN(deg))
+		choice = e.topo.Neighbor(v, ds.rng.IntN(deg))
 	}
 	// Record the partner regardless of channel failure: the node dialled it.
 	e.recent[memBase+e.recentPos[v]] = int32(choice)
@@ -555,18 +633,10 @@ func (e *Engine) sampleWithMemory(v, deg int) {
 	if !e.topo.Alive(choice) {
 		return
 	}
-	if e.cfg.ChannelFailureProb > 0 && e.rng.Bool(e.cfg.ChannelFailureProb) {
+	if e.cfg.ChannelFailureProb > 0 && ds.rng.Bool(e.cfg.ChannelFailureProb) {
 		return
 	}
 	e.dialTargets[v*e.k] = int32(choice)
-}
-
-// scratchFor returns a scratch slice with capacity >= n for DistinctK.
-func (e *Engine) scratchFor(n int) []int {
-	if cap(e.scratch) < n {
-		e.scratch = make([]int, n)
-	}
-	return e.scratch
 }
 
 // dialBudget returns the number of dials the model mandates per round:

@@ -1,0 +1,45 @@
+package runtime
+
+import (
+	"testing"
+
+	"regcast/internal/core"
+	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
+)
+
+// TestAgreesWithShardedEngine cross-validates the three implementations
+// of the phone-call model that now coexist in the repo: the
+// goroutine-per-node runtime and the sharded engine must produce the same
+// mean transmission totals as each other (both are distributionally
+// equivalent embodiments of the same protocol semantics).
+func TestAgreesWithShardedEngine(t *testing.T) {
+	const n, d, reps = 512, 6, 8
+	g := testGraph(t, n, d, 12)
+	proto, err := core.NewAlgorithm1(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shardTx, conTx float64
+	for seed := uint64(0); seed < reps; seed++ {
+		sres, err := phonecall.Run(phonecall.Config{
+			Topology: phonecall.NewStatic(g), Protocol: proto, RNG: xrand.New(seed),
+			Workers: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cres, err := Run(Config{Topology: phonecall.NewStatic(g), Protocol: proto, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sres.AllInformed || !cres.AllInformed {
+			t.Fatal("incomplete run")
+		}
+		shardTx += float64(sres.Transmissions)
+		conTx += float64(cres.Transmissions)
+	}
+	if ratio := conTx / shardTx; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("transmissions diverge: goroutine-per-node/sharded = %.3f", ratio)
+	}
+}

@@ -1,7 +1,10 @@
 // Package stats provides the small statistical toolkit used by the
 // experiment harness: summary statistics, quantiles, normal-approximation
 // confidence intervals, least-squares regression for scaling-exponent fits,
-// and fixed-width histograms.
+// and fixed-width histograms. The regression fits back the asymptotic
+// claims of the paper — e.g. E1 fits completion rounds against log₂ n and
+// E2 fits transmissions per node against log log n (see DESIGN.md's
+// experiment index for which statistic each experiment uses).
 package stats
 
 import (

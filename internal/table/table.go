@@ -1,6 +1,11 @@
 // Package table renders simple column-aligned tables as plain text or
 // GitHub-flavoured Markdown. The experiment harness uses it to emit the
-// per-experiment result tables recorded in EXPERIMENTS.md.
+// per-experiment result tables recorded in EXPERIMENTS.md: cmd/experiments
+// prints the Markdown form (-markdown) that EXPERIMENTS.md embeds, and
+// `go test -bench -v` prints the plain-text form for quick inspection.
+// Tables are deterministic (no timestamps, no map iteration), so the same
+// seed always renders byte-identical output — which is what lets the
+// experiment-determinism tests compare rendered tables directly.
 package table
 
 import (

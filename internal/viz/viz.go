@@ -1,6 +1,10 @@
 // Package viz renders numeric series as plain-text charts for terminal
 // output — the "figures" accompanying the experiment tables. It is
-// dependency-free and deterministic.
+// dependency-free and deterministic: cmd/broadcast-sim uses it for the
+// informed-fraction trajectory of a traced run (-trace), and the examples
+// use it to visualise phase structure. Like package table, its output
+// contains no timestamps or nondeterminism, so charts are reproducible
+// from the run seed.
 package viz
 
 import (

@@ -5,9 +5,12 @@
 // The generator is xoshiro256★★ seeded through SplitMix64, which gives
 // high-quality 64-bit output from a single user-supplied seed and supports
 // cheap "splitting": deriving independent child streams for per-node
-// randomness in the concurrent runtime. All randomness in this repository
-// flows through this package so that every simulation is reproducible from
-// one seed.
+// randomness in the concurrent runtime and for the per-shard streams of
+// the sharded phone-call engine (internal/phonecall/parallel.go), whose
+// reproducibility-across-worker-counts guarantee rests on Split being
+// deterministic. All randomness in this repository flows through this
+// package so that every simulation is reproducible from one seed; see
+// DESIGN.md for the seeding discipline.
 package xrand
 
 import (

@@ -1,0 +1,151 @@
+package regcast_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"regcast/internal/baseline"
+	"regcast/internal/core"
+	"regcast/internal/graph"
+	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
+)
+
+// Scale benchmarks for the sharded parallel phone-call engine
+// (internal/phonecall/parallel.go). Worker count never changes the
+// simulated trace — only the wall-clock time — so the workers=1 entry is
+// the exact sequential baseline for the speedup ratios recorded in
+// EXPERIMENTS.md. Run with:
+//
+//	go test -bench BenchmarkSharded -benchtime 3x .
+//
+// The n=1M benchmarks are skipped under -short (CI smoke runs).
+
+var (
+	benchGraphMu    sync.Mutex
+	benchGraphCache = map[[2]int]*graph.Graph{}
+)
+
+// benchGraph builds (and memoises) a random d-regular graph.
+func benchGraph(b *testing.B, n, d int) *graph.Graph {
+	b.Helper()
+	benchGraphMu.Lock()
+	defer benchGraphMu.Unlock()
+	key := [2]int{n, d}
+	if g, ok := benchGraphCache[key]; ok {
+		return g
+	}
+	g, err := graph.RandomRegular(n, d, xrand.New(uint64(n)*31+uint64(d)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGraphCache[key] = g
+	return g
+}
+
+// benchSizes returns the node counts to sweep; the million-node case is
+// reserved for full (non -short) runs.
+func benchSizes() []int {
+	if testing.Short() {
+		return []int{100_000}
+	}
+	return []int{100_000, 1_000_000}
+}
+
+// BenchmarkShardedPush sweeps worker counts on the classic push schedule
+// — the heaviest steady-state workload (every informed node transmits
+// every round) and the one used for the EXPERIMENTS.md speedup table.
+func BenchmarkShardedPush(b *testing.B) {
+	const d = 16
+	for _, n := range benchSizes() {
+		g := benchGraph(b, n, d)
+		push, err := baseline.NewPush(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := phonecall.Run(phonecall.Config{
+						Topology:  phonecall.NewStatic(g),
+						Protocol:  push,
+						RNG:       xrand.New(uint64(i) + 1),
+						StopEarly: true,
+						Workers:   workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.AllInformed {
+						b.Fatalf("push incomplete: %d/%d", res.Informed, res.AliveNodes)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardedFourChoice runs the paper's Algorithm 1 at scale on the
+// sharded engine — the O(n·log log n) workload whose Phase 2/3 rounds are
+// the parallel section's best case (every node dials four channels).
+func BenchmarkShardedFourChoice(b *testing.B) {
+	const d = 16
+	for _, n := range benchSizes() {
+		g := benchGraph(b, n, d)
+		proto, err := core.New(n, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := phonecall.Run(phonecall.Config{
+						Topology: phonecall.NewStatic(g),
+						Protocol: proto,
+						RNG:      xrand.New(uint64(i) + 1),
+						Workers:  workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.AllInformed {
+						b.Fatalf("four-choice incomplete: %d/%d", res.Informed, res.AliveNodes)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLegacySequentialPush is the pre-refactor engine (Workers=0) at
+// the same sizes, for regression tracking against the sharded path.
+func BenchmarkLegacySequentialPush(b *testing.B) {
+	const d = 16
+	for _, n := range benchSizes() {
+		g := benchGraph(b, n, d)
+		push, err := baseline.NewPush(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := phonecall.Run(phonecall.Config{
+					Topology:  phonecall.NewStatic(g),
+					Protocol:  push,
+					RNG:       xrand.New(uint64(i) + 1),
+					StopEarly: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllInformed {
+					b.Fatalf("push incomplete: %d/%d", res.Informed, res.AliveNodes)
+				}
+			}
+		})
+	}
+}
