@@ -1,8 +1,12 @@
 package regcast_test
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
 
+	"regcast"
+	"regcast/internal/baseline"
 	"regcast/internal/experiments"
 )
 
@@ -108,3 +112,98 @@ func BenchmarkE19PushConstant(b *testing.B) { benchExperiment(b, "E19") }
 // BenchmarkE20MedianCounter reproduces E20: Karp et al.'s self-terminating
 // median-counter push&pull (ref [25]), extension.
 func BenchmarkE20MedianCounter(b *testing.B) { benchExperiment(b, "E20") }
+
+// steadyPush is a push-only protocol with a configurable horizon, used to
+// hold the engines in their steady-state round loop (everyone informed,
+// every round still executing) for the observer-overhead guards.
+type steadyPush struct{ horizon int }
+
+func (p steadyPush) Name() string            { return "steady-push" }
+func (p steadyPush) Choices() int            { return 1 }
+func (p steadyPush) Horizon() int            { return p.horizon }
+func (p steadyPush) SendPush(t, ia int) bool { return true }
+func (p steadyPush) SendPull(t, ia int) bool { return false }
+func (p steadyPush) NeverPulls() bool        { return true }
+
+// TestNilObserverZeroAllocsPerRound guards the facade's core performance
+// contract: with no observer registered, the steady-state round loop of
+// both simulation engines allocates nothing. Two runs that differ only in
+// horizon must show identical allocation counts — any per-round
+// allocation would surface ~hundreds of times over the horizon gap.
+func TestNilObserverZeroAllocsPerRound(t *testing.T) {
+	g, err := regcast.NewRegularGraph(256, 8, regcast.NewRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 0},
+		{"sharded-inline", 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			allocs := func(horizon int) float64 {
+				scenario, err := regcast.NewScenario(regcast.Static(g), steadyPush{horizon}, regcast.WithSeed(5))
+				if err != nil {
+					t.Fatal(err)
+				}
+				runner := regcast.NewRunner(regcast.WithWorkers(tc.workers))
+				return testing.AllocsPerRun(5, func() {
+					if _, err := runner.Run(context.Background(), scenario); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			short, long := allocs(80), allocs(400)
+			if extra := long - short; extra >= 1 {
+				t.Errorf("nil-observer run allocates per round: %.1f extra allocs over 320 extra rounds (%.3f/round)",
+					extra, extra/320)
+			}
+		})
+	}
+}
+
+// countingObserver is the cheapest useful observer: two counters.
+type countingObserver struct {
+	rounds   atomic.Int64
+	informed atomic.Int64
+}
+
+func (c *countingObserver) OnRound(regcast.RoundStats) { c.rounds.Add(1) }
+func (c *countingObserver) OnInformed(int, int)        { c.informed.Add(1) }
+
+// BenchmarkObserverOverhead measures the cost the streaming Observer adds
+// to a broadcast, against the nil-observer fast path (which the guard
+// above pins at 0 allocs/round).
+func BenchmarkObserverOverhead(b *testing.B) {
+	const n, d = 4096, 8
+	g, err := regcast.NewRegularGraph(n, d, regcast.NewRand(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	push, err := baseline.NewPush(n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, withObserver := range []bool{false, true} {
+		name := "nil-observer"
+		opts := []regcast.ScenarioOption{regcast.WithSeed(3), regcast.WithStopEarly()}
+		if withObserver {
+			name = "counting-observer"
+			opts = append(opts, regcast.WithObserver(&countingObserver{}))
+		}
+		b.Run(name, func(b *testing.B) {
+			scenario, err := regcast.NewScenario(regcast.Static(g), push, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := regcast.Run(context.Background(), scenario); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

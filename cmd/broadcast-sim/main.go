@@ -1,5 +1,7 @@
 // Command broadcast-sim runs one broadcast on a random d-regular graph
 // under a chosen protocol and prints a per-round trace plus a summary.
+// The trace is streamed through the regcast Observer API as the engine
+// produces it, not retained and dumped afterwards.
 //
 // Usage:
 //
@@ -11,16 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"regcast"
 	"regcast/internal/baseline"
 	"regcast/internal/core"
-	"regcast/internal/graph"
-	"regcast/internal/phonecall"
 	"regcast/internal/viz"
-	"regcast/internal/xrand"
 )
 
 func main() {
@@ -35,53 +36,49 @@ func run() error {
 		n        = flag.Int("n", 4096, "number of nodes")
 		d        = flag.Int("d", 8, "degree of the random regular graph")
 		protoSel = flag.String("protocol", "fourchoice", "protocol: fourchoice|algorithm1|algorithm2|seq|push|pull|pushpull")
-		seed     = flag.Uint64("seed", 1, "random seed")
 		alpha    = flag.Float64("alpha", core.DefaultAlpha, "phase-length constant α for the four-choice schedules")
 		choices  = flag.Int("choices", core.Choices, "dials per round for the four-choice schedules (ablation)")
 		failure  = flag.Float64("failure", 0, "channel establishment failure probability")
 		loss     = flag.Float64("loss", 0, "per-transmission message loss probability")
 		source   = flag.Int("source", 0, "source node id")
 		trace    = flag.Bool("trace", false, "print a per-round trace")
-		workers  = flag.Int("workers", 0, "engine workers: 0 = classic sequential engine, -1 = GOMAXPROCS (sharded), n = n workers (sharded)")
+		common   = regcast.AddCommonFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		return err
+	}
 
-	master := xrand.New(*seed)
-	g, err := graph.RandomRegular(*n, *d, master.Split())
+	master := common.Rand()
+	g, err := regcast.NewRegularGraph(*n, *d, master.Split())
 	if err != nil {
 		return err
 	}
-	cfg := phonecall.Config{
-		Topology:           phonecall.NewStatic(g),
-		Source:             *source,
-		RNG:                master.Split(),
-		ChannelFailureProb: *failure,
-		MessageLossProb:    *loss,
-		RecordRounds:       *trace,
-		Workers:            *workers,
-	}
+
+	var proto regcast.Protocol
+	avoidRecent := 0
 	opts := []core.Option{core.WithAlpha(*alpha), core.WithChoices(*choices)}
 	switch *protoSel {
 	case "fourchoice":
-		cfg.Protocol, err = core.New(*n, *d, opts...)
+		proto, err = core.New(*n, *d, opts...)
 	case "algorithm1":
-		cfg.Protocol, err = core.NewAlgorithm1(*n, opts...)
+		proto, err = core.NewAlgorithm1(*n, opts...)
 	case "algorithm2":
-		cfg.Protocol, err = core.NewAlgorithm2(*n, opts...)
+		proto, err = core.NewAlgorithm2(*n, opts...)
 	case "seq":
 		var base *core.FourChoice
 		base, err = core.NewAlgorithm1(*n, opts...)
 		if err == nil {
 			seq := core.NewSequentialised(base)
-			cfg.Protocol = seq
-			cfg.AvoidRecent = seq.Memory()
+			proto = seq
+			avoidRecent = seq.Memory()
 		}
 	case "push":
-		cfg.Protocol, err = baseline.NewPush(*n, 1)
+		proto, err = baseline.NewPush(*n, 1)
 	case "pull":
-		cfg.Protocol, err = baseline.NewPull(*n, 1)
+		proto, err = baseline.NewPull(*n, 1)
 	case "pushpull":
-		cfg.Protocol, err = baseline.NewPushPull(*n, 1)
+		proto, err = baseline.NewPushPull(*n, 1)
 	default:
 		return fmt.Errorf("unknown protocol %q", *protoSel)
 	}
@@ -90,19 +87,34 @@ func run() error {
 	}
 
 	fmt.Printf("graph: G(%d,%d) simple=%v connected=%v\n", *n, *d, g.IsSimple(), g.IsConnected())
-	fmt.Printf("protocol: %s (choices=%d horizon=%d)\n", cfg.Protocol.Name(), cfg.Protocol.Choices(), cfg.Protocol.Horizon())
+	fmt.Printf("protocol: %s (choices=%d horizon=%d)\n", proto.Name(), proto.Choices(), proto.Horizon())
 
-	res, err := phonecall.Run(cfg)
+	sopts := []regcast.ScenarioOption{
+		regcast.WithSource(*source),
+		regcast.WithRNG(master.Split()),
+		regcast.WithChannelFailure(*failure),
+		regcast.WithMessageLoss(*loss),
+		regcast.WithAvoidRecent(avoidRecent),
+	}
+	var fractions []float64
+	if *trace {
+		fmt.Println("round  newly  informed  transmissions")
+		sopts = append(sopts, regcast.WithObserver(regcast.ObserverFuncs{
+			Round: func(rm regcast.RoundStats) {
+				fmt.Printf("%5d  %5d  %8d  %13d\n", rm.Round, rm.NewlyInformed, rm.Informed, rm.Transmissions)
+				fractions = append(fractions, float64(rm.Informed)/float64(*n))
+			},
+		}))
+	}
+	scenario, err := regcast.NewScenario(regcast.Static(g), proto, sopts...)
+	if err != nil {
+		return err
+	}
+	res, err := regcast.Run(context.Background(), scenario, common.RunnerOptions()...)
 	if err != nil {
 		return err
 	}
 	if *trace {
-		fmt.Println("round  newly  informed  transmissions")
-		fractions := make([]float64, 0, len(res.PerRound))
-		for _, rm := range res.PerRound {
-			fmt.Printf("%5d  %5d  %8d  %13d\n", rm.Round, rm.NewlyInformed, rm.Informed, rm.Transmissions)
-			fractions = append(fractions, float64(rm.Informed)/float64(*n))
-		}
 		if chart, err := viz.Chart(64, 12, viz.Series{Name: "informed fraction", Values: fractions}); err == nil {
 			fmt.Println()
 			fmt.Print(chart)

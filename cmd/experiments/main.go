@@ -7,7 +7,7 @@
 //	experiments -run E2,E4       # a subset
 //	experiments -quick           # the fast CI profile
 //	experiments -markdown        # GitHub-flavoured Markdown output
-//	experiments -parallel        # broadcasts on the sharded engine
+//	experiments -workers -1      # broadcasts on the sharded engine
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 	"os"
 	"strings"
 
-	"regcast/internal/experiments"
+	"regcast"
 )
 
 func main() {
@@ -31,22 +31,24 @@ func run() error {
 		runIDs   = flag.String("run", "", "comma-separated experiment ids (default: all)")
 		quick    = flag.Bool("quick", false, "use the fast profile (smaller sweeps)")
 		markdown = flag.Bool("markdown", false, "emit Markdown instead of plain text")
-		seed     = flag.Uint64("seed", 1, "master seed")
-		parallel = flag.Bool("parallel", false, "run broadcasts on the sharded parallel engine with GOMAXPROCS workers (same as -workers -1)")
-		workers  = flag.Int("workers", 0, "engine workers, matching broadcast-sim: 0 = classic sequential engine (unless -parallel), -1 = GOMAXPROCS (sharded), n = n workers (sharded)")
+		parallel = flag.Bool("parallel", false, "deprecated alias for -workers -1 (sharded engine, GOMAXPROCS workers)")
+		common   = regcast.AddCommonFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	if *workers < -1 {
-		return fmt.Errorf("-workers %d invalid (use -1, 0 or a positive count)", *workers)
+	if err := common.Validate(); err != nil {
+		return err
+	}
+	if *parallel && common.Workers == 0 {
+		common.Workers = regcast.WorkersAuto
 	}
 
-	var selected []experiments.Experiment
+	var selected []regcast.Experiment
 	if *runIDs == "" {
-		selected = experiments.All()
+		selected = regcast.Experiments()
 	} else {
 		for _, id := range strings.Split(*runIDs, ",") {
 			id = strings.TrimSpace(id)
-			e, ok := experiments.ByID(id)
+			e, ok := regcast.ExperimentByID(id)
 			if !ok {
 				return fmt.Errorf("unknown experiment %q", id)
 			}
@@ -54,15 +56,7 @@ func run() error {
 		}
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallel: *parallel}
-	if *workers != 0 {
-		// Any explicit worker count selects the sharded engine; -1 maps to
-		// Options.Workers == 0, i.e. GOMAXPROCS.
-		opts.Parallel = true
-		if *workers > 0 {
-			opts.Workers = *workers
-		}
-	}
+	opts := common.ExperimentOptions(*quick)
 	for _, e := range selected {
 		if *markdown {
 			fmt.Printf("## %s — %s\n\n", e.ID, e.Title)

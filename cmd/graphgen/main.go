@@ -1,22 +1,25 @@
 // Command graphgen generates a random regular graph (configuration model
 // or simple Steger–Wormald) and reports its structural statistics:
 // degrees, self-loops, parallel edges, connectivity, diameter estimate,
-// and spectral expansion.
+// spectral expansion, and a push-broadcast probe run through the regcast
+// facade (so -workers selects the engine exactly as in broadcast-sim).
 //
 // Usage:
 //
 //	graphgen -n 4096 -d 8 -model simple
-//	graphgen -n 1024 -d 6 -model pairing -seed 7
+//	graphgen -n 1024 -d 6 -model pairing -seed 7 -workers -1
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"regcast"
+	"regcast/internal/baseline"
 	"regcast/internal/graph"
 	"regcast/internal/spectral"
-	"regcast/internal/xrand"
 )
 
 func main() {
@@ -28,16 +31,19 @@ func main() {
 
 func run() error {
 	var (
-		n     = flag.Int("n", 4096, "number of nodes")
-		d     = flag.Int("d", 8, "degree")
-		model = flag.String("model", "simple", "generator: simple|pairing|erased")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		n      = flag.Int("n", 4096, "number of nodes")
+		d      = flag.Int("d", 8, "degree")
+		model  = flag.String("model", "simple", "generator: simple|pairing|erased")
+		common = regcast.AddCommonFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		return err
+	}
 
-	master := xrand.New(*seed)
+	master := common.Rand()
 	var (
-		g   *graph.Graph
+		g   *regcast.Graph
 		err error
 	)
 	switch *model {
@@ -70,6 +76,30 @@ func run() error {
 		}
 		bound := spectral.AlonBoppanaBound(*d)
 		fmt.Printf("|λ2| ≈ %.3f, 2√(d−1) = %.3f, ratio %.3f\n", l2, bound, l2/bound)
+	}
+
+	// Broadcast probe: a plain push rumour from node 0, run through the
+	// facade so the engine follows -workers. Rounds-to-completion is a
+	// cheap functional check of the generated topology (≈ log n + ln n on
+	// a good expander, never finishing on a disconnected graph).
+	probe, err := baseline.NewPush(g.NumNodes(), 1)
+	if err != nil {
+		return err
+	}
+	scenario, err := regcast.NewScenario(regcast.Static(g), probe,
+		regcast.WithRNG(master.Split()), regcast.WithStopEarly())
+	if err != nil {
+		return err
+	}
+	res, err := regcast.Run(context.Background(), scenario, common.RunnerOptions()...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("broadcast probe (push, 1 dial/round): informed %d/%d", res.Informed, res.AliveNodes)
+	if res.AllInformed {
+		fmt.Printf(" in %d rounds\n", res.FirstAllInformed)
+	} else {
+		fmt.Printf(" after %d rounds (incomplete)\n", res.Rounds)
 	}
 	return nil
 }

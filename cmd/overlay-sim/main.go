@@ -1,6 +1,9 @@
 // Command overlay-sim stress-tests the d-regular P2P overlay under churn
 // and reports its structural health over time: membership, degree
-// integrity, connectivity of snapshots, and spectral expansion drift.
+// integrity, connectivity of snapshots, and spectral expansion drift. The
+// final snapshot additionally gets a four-choice broadcast check run
+// through the regcast facade (so -workers selects the engine exactly as
+// in broadcast-sim).
 //
 // Usage:
 //
@@ -8,13 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"regcast"
+	"regcast/internal/core"
 	"regcast/internal/p2p/overlay"
 	"regcast/internal/spectral"
-	"regcast/internal/xrand"
 )
 
 func main() {
@@ -32,12 +37,15 @@ func run() error {
 		join   = flag.Float64("join", 0.02, "per-peer join probability per round")
 		leave  = flag.Float64("leave", 0.02, "per-peer leave probability per round")
 		mix    = flag.Int("mix", 10, "switch-chain steps per round")
-		seed   = flag.Uint64("seed", 1, "random seed")
 		every  = flag.Int("report", 50, "report snapshot statistics every k rounds")
+		common = regcast.AddCommonFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		return err
+	}
 
-	master := xrand.New(*seed)
+	master := common.Rand()
 	ov, err := overlay.New(*n, *d, 4*(*n), master.Split())
 	if err != nil {
 		return err
@@ -50,6 +58,7 @@ func run() error {
 	fmt.Printf("overlay: n=%d d=%d, churn join=%.3f leave=%.3f, %d mix steps/round\n",
 		*n, *d, *join, *leave, *mix)
 	fmt.Println("round  alive  joins  leaves  connected  |λ2|/2√(d−1)")
+	var lastSnap *regcast.Graph
 	for r := 1; r <= *rounds; r++ {
 		ch.Step(r)
 		if r%*every != 0 && r != *rounds {
@@ -62,6 +71,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("round %d: snapshot: %w", r, err)
 		}
+		lastSnap = snap
 		ratio := 0.0
 		connected := snap.IsConnected()
 		if connected {
@@ -75,5 +85,31 @@ func run() error {
 			r, ov.AliveCount(), ch.Joins, ch.Leaves, connected, ratio)
 	}
 	fmt.Println("\nall structural invariants held (exact d-regularity through every join/leave)")
+
+	// Functional check: the overlay is only healthy if it still spreads
+	// rumours fast, so run the paper's four-choice broadcast on the final
+	// snapshot through the facade.
+	if lastSnap != nil && lastSnap.NumNodes() > 0 {
+		proto, err := core.New(lastSnap.NumNodes(), *d)
+		if err != nil {
+			return err
+		}
+		scenario, err := regcast.NewScenario(regcast.Static(lastSnap), proto,
+			regcast.WithRNG(master.Split()), regcast.WithStopEarly())
+		if err != nil {
+			return err
+		}
+		res, err := regcast.Run(context.Background(), scenario, common.RunnerOptions()...)
+		if err != nil {
+			return err
+		}
+		if res.AllInformed {
+			fmt.Printf("broadcast check on final snapshot (%s): completed in %d rounds, %d transmissions\n",
+				proto.Name(), res.FirstAllInformed, res.Transmissions)
+		} else {
+			fmt.Printf("broadcast check on final snapshot (%s): incomplete — informed %d/%d after %d rounds\n",
+				proto.Name(), res.Informed, res.AliveNodes, res.Rounds)
+		}
+	}
 	return nil
 }

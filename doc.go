@@ -1,17 +1,42 @@
 // Package regcast reproduces "Efficient Randomised Broadcasting in Random
 // Regular Networks with Applications in Peer-to-Peer Systems" (Berenbrink,
 // Elsässer, Friedetzky; PODC 2008 / Distributed Computing 2016) as a Go
-// library: the four-choice phased broadcast protocols (internal/core), the
-// random phone call simulator with its sharded parallel round engine
-// (internal/phonecall), random-regular-graph
+// library, and is itself the public API: programs describe a broadcast as
+// a Scenario (topology + protocol + fault model, via functional options),
+// execute it with a Runner that selects among five engines behind one
+// Run(ctx, Scenario) call, and consume per-round metrics online through
+// the streaming Observer interface instead of retaining full traces.
+//
+//	g, _ := regcast.NewRegularGraph(1<<14, 8, regcast.NewRand(1))
+//	proto, _ := regcast.NewFourChoice(1<<14, 8) // the paper's schedule
+//	scenario, _ := regcast.NewScenario(regcast.Static(g), proto,
+//		regcast.WithSeed(42),
+//		regcast.WithObserver(regcast.ObserverFuncs{
+//			Round: func(rs regcast.RoundStats) { fmt.Println(rs.Round, rs.Informed) },
+//		}))
+//	res, _ := regcast.Run(ctx, scenario, regcast.WithWorkers(regcast.WorkersAuto))
+//
+// Engines: EngineSequential (the classic single-stream simulator),
+// EngineSharded (the parallel engine — bit-identical results for every
+// worker count at a fixed shard count), EngineGoroutinePerNode (one
+// goroutine per node, barrier-synchronised; internal/runtime),
+// EngineGossipTransport and EngineTCPTransport (anti-entropy gossip over
+// in-memory mailboxes or real loopback sockets; internal/transport).
+// Scenario construction fails fast on model violations — e.g.
+// DialQuasirandom with a protocol that may pull.
+//
+// Behind the facade: the four-choice phased broadcast protocols
+// (internal/core), the random phone call simulator with its sharded
+// parallel round engine (internal/phonecall), random-regular-graph
 // generation and analysis (internal/graph, internal/spectral), the
 // strictly-oblivious lower-bound machinery (internal/oblivious), baseline
 // gossip protocols (internal/baseline), a churning P2P overlay and a
-// replicated database built on broadcast (internal/p2p), a goroutine-per-
-// node runtime (internal/runtime), real transports (internal/transport),
-// and the per-theorem experiment harness (internal/experiments).
+// replicated database built on broadcast (internal/p2p), and the
+// per-theorem experiment harness (internal/experiments), re-exported here
+// through Experiments and ExperimentByID.
 //
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
-// benchmarks in bench_test.go regenerate one experiment each.
+// benchmarks in bench_test.go regenerate one experiment each and guard
+// the nil-observer fast path at zero allocations per round.
 package regcast

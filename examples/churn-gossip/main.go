@@ -6,17 +6,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"regcast"
 	"regcast/internal/core"
 	"regcast/internal/p2p/overlay"
-	"regcast/internal/phonecall"
-	"regcast/internal/xrand"
 )
 
 // churningTopology fuses the overlay with its churner so the engine sees
-// one dynamic topology.
+// one dynamic topology (it implements regcast.Stepper).
 type churningTopology struct {
 	*overlay.Overlay
 	ch *overlay.Churner
@@ -26,7 +26,7 @@ func (c churningTopology) Step(round int) []int { return c.ch.Step(round) }
 
 func main() {
 	const n, d = 2048, 8
-	master := xrand.New(11)
+	master := regcast.NewRand(11)
 
 	for _, churnRate := range []float64{0, 0.002, 0.01} {
 		ovRun, err := overlay.New(n, d, n, master.Split())
@@ -41,13 +41,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := phonecall.Run(phonecall.Config{
-			Topology:           churningTopology{ovRun, ch},
-			Protocol:           proto,
-			Source:             0,
-			RNG:                master.Split(),
-			ChannelFailureProb: 0.05,
-		})
+		scenario, err := regcast.NewScenario(churningTopology{ovRun, ch}, proto,
+			regcast.WithRNG(master.Split()),
+			regcast.WithChannelFailure(0.05))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := regcast.Run(context.Background(), scenario)
 		if err != nil {
 			log.Fatal(err)
 		}

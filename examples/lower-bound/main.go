@@ -7,20 +7,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"regcast"
 	"regcast/internal/core"
-	"regcast/internal/graph"
 	"regcast/internal/oblivious"
-	"regcast/internal/phonecall"
-	"regcast/internal/xrand"
 )
 
 func main() {
 	const n, d = 1 << 13, 8
-	master := xrand.New(21)
-	g, err := graph.RandomRegular(n, d, master.Split())
+	master := regcast.NewRand(21)
+	g, err := regcast.NewRegularGraph(n, d, master.Split())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,12 +41,13 @@ func main() {
 	}
 
 	for _, s := range schedules {
-		res, err := phonecall.Run(phonecall.Config{
-			Topology:  phonecall.NewStatic(g),
-			Protocol:  s,
-			RNG:       master.Split(),
-			StopEarly: true, // the cheapest accounting any schedule can claim
-		})
+		scenario, err := regcast.NewScenario(regcast.Static(g), s,
+			regcast.WithRNG(master.Split()),
+			regcast.WithStopEarly()) // the cheapest accounting any schedule can claim
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := regcast.Run(context.Background(), scenario)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,11 +60,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := phonecall.Run(phonecall.Config{
-		Topology: phonecall.NewStatic(g),
-		Protocol: four,
-		RNG:      master.Split(),
-	})
+	scenario, err := regcast.NewScenario(regcast.Static(g), four,
+		regcast.WithRNG(master.Split()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := regcast.Run(context.Background(), scenario)
 	if err != nil {
 		log.Fatal(err)
 	}

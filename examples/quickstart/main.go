@@ -1,25 +1,25 @@
 // Quickstart: broadcast one message on a random 8-regular graph with the
 // paper's four-choice algorithm and compare against the classic push
-// protocol — the headline result of the paper in ~40 lines.
+// protocol — the headline result of the paper, programmed entirely
+// against the public regcast facade.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"regcast"
 	"regcast/internal/baseline"
 	"regcast/internal/core"
-	"regcast/internal/graph"
-	"regcast/internal/phonecall"
-	"regcast/internal/xrand"
 )
 
 func main() {
 	const n, d = 1 << 14, 8
-	master := xrand.New(42)
+	master := regcast.NewRand(42)
 
 	// A random d-regular topology, as a P2P overlay would maintain.
-	g, err := graph.RandomRegular(n, d, master.Split())
+	g, err := regcast.NewRegularGraph(n, d, master.Split())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,16 +35,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	for _, proto := range []phonecall.Protocol{fourChoice, push} {
-		res, err := phonecall.Run(phonecall.Config{
-			Topology: phonecall.NewStatic(g),
-			Protocol: proto,
-			Source:   0,
-			RNG:      master.Split(),
-			// The sharded engine: GOMAXPROCS workers, results reproducible
-			// from the seed and independent of the worker count.
-			Workers: phonecall.WorkersAuto,
-		})
+	for _, proto := range []regcast.Protocol{fourChoice, push} {
+		scenario, err := regcast.NewScenario(regcast.Static(g), proto,
+			regcast.WithRNG(master.Split()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The sharded engine: GOMAXPROCS workers, results reproducible
+		// from the seed and independent of the worker count.
+		res, err := regcast.Run(context.Background(), scenario,
+			regcast.WithWorkers(regcast.WorkersAuto))
 		if err != nil {
 			log.Fatal(err)
 		}

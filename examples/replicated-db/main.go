@@ -9,18 +9,16 @@ import (
 	"fmt"
 	"log"
 
+	"regcast"
 	"regcast/internal/core"
-	"regcast/internal/graph"
 	"regcast/internal/p2p/replica"
-	"regcast/internal/phonecall"
-	"regcast/internal/xrand"
 )
 
 func main() {
 	const n, d = 512, 8
-	master := xrand.New(7)
+	master := regcast.NewRand(7)
 
-	g, err := graph.RandomRegular(n, d, master.Split())
+	g, err := regcast.NewRegularGraph(n, d, master.Split())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +40,7 @@ func main() {
 		})
 	}
 
-	topo := phonecall.NewStatic(g)
+	topo := regcast.Static(g)
 	rep, err := replica.Run(replica.Config{
 		Topology: topo,
 		Protocol: proto,

@@ -1,67 +1,55 @@
 // TCP cluster example: sixteen gossip nodes, each with its own loopback
 // TCP listener, spreading a rumour with push&pull anti-entropy over real
-// sockets. This is the deployment-shaped counterpart of the simulator:
-// the same random-neighbour contact pattern, but with JSON packets on
-// the wire instead of simulated channels.
+// sockets — the deployment-shaped counterpart of the simulator, driven
+// through the same public Scenario/Runner API: only the engine changes,
+// the scenario and the streaming observer stay identical.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
-	"regcast/internal/graph"
-	"regcast/internal/transport"
-	"regcast/internal/xrand"
+	"regcast"
+	"regcast/internal/baseline"
 )
 
 func main() {
 	const n, d, k = 16, 4, 2
 
-	g, err := graph.RandomRegular(n, d, xrand.New(3))
+	g, err := regcast.NewRegularGraph(n, d, regcast.NewRand(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := transport.NewTCP(n, 1024)
+	// The protocol contributes its fan-out (k dials per tick) and tick
+	// budget; on a transport engine the push&pull exchange itself runs as
+	// anti-entropy over the wire.
+	proto, err := baseline.NewPushPull(n, k)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cluster, err := transport.NewCluster(g, tr, k, 4)
+
+	scenario, err := regcast.NewScenario(regcast.Static(g), proto,
+		regcast.WithSeed(3),
+		regcast.WithObserver(regcast.ObserverFuncs{
+			Round: func(rs regcast.RoundStats) {
+				fmt.Printf("tick %2d: %2d/%d nodes know the rumour (%d packets this tick)\n",
+					rs.Round, rs.Informed, n, rs.Transmissions)
+			},
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer func() {
-		if err := cluster.Close(); err != nil {
-			log.Printf("close: %v", err)
-		}
-	}()
 
-	for i := 0; i < n; i++ {
-		fmt.Printf("node %2d listening on %s\n", i, tr.Addr(i))
-	}
-
-	rumor := transport.Rumor{ID: "release-1.0", Payload: "ship it"}
-	if err := cluster.Insert(0, rumor); err != nil {
+	fmt.Printf("rumour inserted at node 0; gossiping over real TCP sockets...\n\n")
+	res, err := regcast.Run(context.Background(), scenario,
+		regcast.WithEngine(regcast.EngineTCPTransport))
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nrumour %q inserted at node 0\n", rumor.ID)
-
-	for tick := 1; tick <= 30; tick++ {
-		if err := cluster.Tick(); err != nil {
-			log.Fatal(err)
-		}
-		// Give the sockets a moment to drain before counting.
-		deadline := time.Now().Add(500 * time.Millisecond)
-		for time.Now().Before(deadline) && cluster.CountKnowing(rumor.ID) < n {
-			time.Sleep(5 * time.Millisecond)
-		}
-		know := cluster.CountKnowing(rumor.ID)
-		fmt.Printf("tick %2d: %2d/%d nodes know the rumour (%d packets sent)\n",
-			tick, know, n, cluster.PacketsSent())
-		if know == n {
-			fmt.Println("\nall nodes informed over real TCP sockets")
-			return
-		}
+	if !res.AllInformed {
+		log.Fatalf("rumour reached only %d/%d nodes in %d ticks", res.Informed, n, res.Rounds)
 	}
-	log.Fatal("rumour did not reach all nodes in 30 ticks")
+	fmt.Printf("\nall %d nodes informed over TCP in %d ticks (%d packets on the wire)\n",
+		n, res.FirstAllInformed, res.Transmissions)
 }

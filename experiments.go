@@ -1,0 +1,20 @@
+package regcast
+
+import "regcast/internal/experiments"
+
+// Experiment is one registered paper-reproduction measurement; its Run
+// method regenerates the corresponding EXPERIMENTS.md tables.
+type Experiment = experiments.Experiment
+
+// ExperimentOptions selects the experiment profile. Its Workers field uses
+// the same semantics as CommonFlags.Workers (0 sequential, -1 sharded with
+// GOMAXPROCS workers, n sharded with n workers); build it from parsed
+// flags with CommonFlags.ExperimentOptions.
+type ExperimentOptions = experiments.Options
+
+// Experiments returns every registered experiment ordered by numeric ID.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID looks an experiment up by its DESIGN.md identifier
+// ("E1", "E2", ...).
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }

@@ -1,0 +1,54 @@
+package regcast
+
+import (
+	"flag"
+	"fmt"
+)
+
+// CommonFlags is the flag surface shared by every regcast command:
+// one -seed and one -workers flag with identical names, defaults, and
+// semantics across binaries, parsed through this single helper so the
+// commands cannot drift apart again.
+type CommonFlags struct {
+	// Seed is the master random seed; all of a command's randomness
+	// (topology generation and the runs themselves) derives from it.
+	Seed uint64
+	// Workers selects the simulation engine: 0 = classic sequential
+	// engine, -1 = sharded engine with GOMAXPROCS workers, n >= 1 =
+	// sharded engine with n workers.
+	Workers int
+}
+
+// AddCommonFlags registers the canonical -seed/-workers flags on fs and
+// returns the struct their parsed values land in.
+func AddCommonFlags(fs *flag.FlagSet) *CommonFlags {
+	f := &CommonFlags{}
+	fs.Uint64Var(&f.Seed, "seed", 1, "master random seed (topology and runs derive from it)")
+	fs.IntVar(&f.Workers, "workers", 0,
+		"engine workers: 0 = classic sequential engine, -1 = GOMAXPROCS (sharded), n = n workers (sharded)")
+	return f
+}
+
+// Validate rejects flag values no engine accepts.
+func (f *CommonFlags) Validate() error {
+	if f.Workers < WorkersAuto {
+		return fmt.Errorf("-workers %d invalid (use -1, 0 or a positive count)", f.Workers)
+	}
+	return nil
+}
+
+// Rand returns the master RNG derived from -seed; Split it per consumer.
+func (f *CommonFlags) Rand() *Rand { return NewRand(f.Seed) }
+
+// RunnerOptions translates the -workers flag into the Runner engine
+// selection — the single definition of the flag's semantics.
+func (f *CommonFlags) RunnerOptions() []RunnerOption {
+	return []RunnerOption{WithWorkers(f.Workers)}
+}
+
+// ExperimentOptions builds the experiment-harness options from the shared
+// flags, routing the harness through the same engine selection as every
+// other consumer of the facade.
+func (f *CommonFlags) ExperimentOptions(quick bool) ExperimentOptions {
+	return ExperimentOptions{Seed: f.Seed, Quick: quick, Workers: f.Workers}
+}

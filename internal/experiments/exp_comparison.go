@@ -78,7 +78,7 @@ func runE9(o Options) ([]*table.Table, error) {
 			Source:       0,
 			RNG:          master.Split(),
 			RecordRounds: true,
-			Workers:      engineWorkers(o),
+			Workers:      o.Workers,
 		})
 		if err != nil {
 			return nil, err

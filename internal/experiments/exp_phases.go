@@ -66,7 +66,7 @@ func phaseProfileRun(o Options, n, d int, alpha, beta float64, seed uint64, trac
 		RNG:          master.Split(),
 		RecordRounds: true,
 		TrackEdgeUse: trackEdges,
-		Workers:      engineWorkers(o),
+		Workers:      o.Workers,
 	})
 	return proto, res, g, err
 }

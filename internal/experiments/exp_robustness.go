@@ -127,7 +127,7 @@ func runE13(o Options) ([]*table.Table, error) {
 				Protocol: proto,
 				Source:   0,
 				RNG:      master.Split(),
-				Workers:  engineWorkers(o),
+				Workers:  o.Workers,
 			})
 			if err != nil {
 				return nil, err

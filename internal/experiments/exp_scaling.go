@@ -166,7 +166,7 @@ func phaseBudgetTable(o Options, d int) (*table.Table, error) {
 		Source:       0,
 		RNG:          master.Split(),
 		RecordRounds: true,
-		Workers:      engineWorkers(o),
+		Workers:      o.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -26,31 +26,15 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks sweeps and repetition counts for benches and CI.
 	Quick bool
-	// Parallel runs every broadcast through the sharded phone-call engine
-	// (phonecall.Config.Workers) with GOMAXPROCS workers instead of the
-	// classic sequential one. Results stay reproducible from Seed but
-	// differ bit-wise from the sequential profile: the sharded engine
-	// consumes per-shard PRNG streams, the sequential one a single stream.
-	Parallel bool
-	// Workers, when > 0, selects the sharded engine with that many worker
-	// goroutines (with or without Parallel, mirroring
-	// phonecall.Config.Workers and the cmd/experiments -workers flag).
-	// Worker count never changes results — only the wall-clock time; see
-	// the phonecall package docs.
+	// Workers selects the broadcast engine with phonecall.Config.Workers
+	// semantics — 0 the classic sequential engine, WorkersAuto (-1) the
+	// sharded engine with GOMAXPROCS workers, n >= 1 the sharded engine
+	// with n workers — exactly the regcast facade's -workers flag. The
+	// sharded profiles stay reproducible from Seed but differ bit-wise
+	// from the sequential one: the sharded engine consumes per-shard PRNG
+	// streams, the sequential one a single stream. Worker count never
+	// changes results — only the wall-clock time.
 	Workers int
-}
-
-// engineWorkers translates Options into a phonecall.Config.Workers value.
-func engineWorkers(o Options) int {
-	switch {
-	case o.Workers > 0:
-		return o.Workers
-	case o.Workers < 0 || o.Parallel:
-		// Negative mirrors phonecall.WorkersAuto: sharded, GOMAXPROCS.
-		return phonecall.WorkersAuto
-	default:
-		return 0
-	}
 }
 
 // Experiment is one registered, reproducible measurement.
@@ -109,7 +93,7 @@ type runStats struct {
 
 // measure runs proto on g for reps seeds derived from seed, applying mutate
 // (if non-nil) to each Config before running. The o profile selects the
-// engine: sequential by default, sharded when o.Parallel is set.
+// engine through Options.Workers (phonecall.Config.Workers semantics).
 func measure(o Options, g *graph.Graph, proto phonecall.Protocol, seed uint64, reps int, mutate func(*phonecall.Config)) (runStats, error) {
 	st := runStats{Reps: reps}
 	completed := 0
@@ -121,7 +105,7 @@ func measure(o Options, g *graph.Graph, proto phonecall.Protocol, seed uint64, r
 			Protocol: proto,
 			Source:   master.IntN(g.NumNodes()),
 			RNG:      master.Split(),
-			Workers:  engineWorkers(o),
+			Workers:  o.Workers,
 		}
 		if mutate != nil {
 			mutate(&cfg)

@@ -3,24 +3,40 @@ package experiments
 import (
 	"testing"
 
+	"regcast/internal/baseline"
 	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
 )
 
-// TestEngineWorkers checks the Options → phonecall.Config.Workers mapping.
-func TestEngineWorkers(t *testing.T) {
-	cases := []struct {
-		o    Options
-		want int
-	}{
-		{Options{}, 0},
-		{Options{Workers: 8}, 8}, // Workers alone selects the sharded engine
-		{Options{Workers: phonecall.WorkersAuto}, phonecall.WorkersAuto},
-		{Options{Parallel: true}, phonecall.WorkersAuto},
-		{Options{Parallel: true, Workers: 4}, 4},
+// TestWorkersFieldPassthrough checks that Options.Workers reaches the
+// engine untranslated (phonecall.Config.Workers semantics): the old
+// Parallel/Workers mapping was deleted in favour of the facade's single
+// engine selection, so the value observed on each run's Config must be
+// exactly the one given in Options.
+func TestWorkersFieldPassthrough(t *testing.T) {
+	g, err := regular(128, 8, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, tc := range cases {
-		if got := engineWorkers(tc.o); got != tc.want {
-			t.Errorf("engineWorkers(%+v) = %d, want %d", tc.o, got, tc.want)
+	push, err := baseline.NewPush(128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, phonecall.WorkersAuto, 4} {
+		seen := []int(nil)
+		_, err := measure(Options{Workers: w}, g, push, 3, 2, func(c *phonecall.Config) {
+			seen = append(seen, c.Workers)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != 2 {
+			t.Fatalf("measure ran %d configs, want 2", len(seen))
+		}
+		for _, got := range seen {
+			if got != w {
+				t.Errorf("Options{Workers: %d} reached the engine as Config.Workers = %d", w, got)
+			}
 		}
 	}
 }
@@ -34,7 +50,7 @@ func TestParallelProfileDeterministicAndComplete(t *testing.T) {
 		t.Fatal("E1 not registered")
 	}
 	run := func(workers int) string {
-		tables, err := e.Run(Options{Seed: 11, Quick: true, Parallel: true, Workers: workers})
+		tables, err := e.Run(Options{Seed: 11, Quick: true, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -85,6 +85,14 @@ type Config struct {
 	// count — not the worker count — determines the trace, so keep it
 	// fixed when comparing runs. Ignored when Workers == 0.
 	Shards int
+	// Observer, when non-nil, receives streaming per-round callbacks (see
+	// Observer). It never changes the trace: observers are called after all
+	// of a round's randomness has been drawn.
+	Observer Observer
+	// Halt, when non-nil, is polled once at the end of every round; a true
+	// return stops the run early with the partial result accumulated so
+	// far. The facade uses it to honour context cancellation.
+	Halt func() bool
 }
 
 // RoundMetrics captures the state of one simulated round.
@@ -254,18 +262,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	e.staticBudget = -1
 	if _, dynamic := cfg.Topology.(Stepper); !dynamic {
-		var total int64
-		for v := 0; v < n; v++ {
-			if !cfg.Topology.Alive(v) {
-				continue
-			}
-			d := cfg.Topology.Degree(v)
-			if d > e.k {
-				d = e.k
-			}
-			total += int64(d)
-		}
-		e.staticBudget = total
+		e.staticBudget = DialBudget(cfg.Topology, e.k)
 	}
 	if cfg.Workers != 0 {
 		e.initShards()
@@ -282,6 +279,10 @@ func (e *Engine) Run() Result {
 	e.informedAt[e.cfg.Source] = 0
 	e.groups[0] = append(e.groups[0], int32(e.cfg.Source))
 	informedCount := 1
+	obs := e.cfg.Observer
+	if obs != nil {
+		obs.OnInformed(e.cfg.Source, 0)
+	}
 
 	horizon := e.proto.Horizon()
 	neverPulls := false
@@ -379,6 +380,9 @@ func (e *Engine) Run() Result {
 		for _, v := range e.pending {
 			e.isPending[v] = false
 			e.informedAt[v] = int32(t)
+			if obs != nil {
+				obs.OnInformed(int(v), t)
+			}
 			if t < len(e.groups) {
 				e.groups[t] = append(e.groups[t], v)
 			}
@@ -401,20 +405,24 @@ func (e *Engine) Run() Result {
 		if e.noteCompletion(&res, t, informedCount, stepper != nil) {
 			break
 		}
+		if e.cfg.Halt != nil && e.cfg.Halt() {
+			break
+		}
 	}
 
 	e.finishResult(&res)
 	return res
 }
 
-// recordRound charges the round's totals to res and, when RecordRounds is
-// set, appends the per-round metrics (both engine paths share it).
+// recordRound charges the round's totals to res and, when RecordRounds or
+// an Observer is set, materialises the per-round metrics (both engine
+// paths share it). With neither consumer it stays allocation-free.
 func (e *Engine) recordRound(res *Result, t, newly, informedCount int, roundTx int64) {
 	budget := e.dialBudget()
 	res.Transmissions += roundTx
 	res.ChannelsDialed += budget
 	res.Rounds = t
-	if !e.cfg.RecordRounds {
+	if !e.cfg.RecordRounds && e.cfg.Observer == nil {
 		return
 	}
 	rm := RoundMetrics{
@@ -431,7 +439,12 @@ func (e *Engine) recordRound(res *Result, t, newly, informedCount int, roundTx i
 			}
 		}
 	}
-	res.PerRound = append(res.PerRound, rm)
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.OnRound(rm)
+	}
+	if e.cfg.RecordRounds {
+		res.PerRound = append(res.PerRound, rm)
+	}
 }
 
 // noteCompletion updates FirstAllInformed after round t and reports
@@ -639,24 +652,13 @@ func (e *Engine) sampleWithMemory(v, deg int, ds *dialState) {
 	e.dialTargets[v*e.k] = int32(choice)
 }
 
-// dialBudget returns the number of dials the model mandates per round:
-// every alive node dials min(k, degree) neighbours.
+// dialBudget returns the number of dials the model mandates per round
+// (DialBudget, cached for frozen topologies).
 func (e *Engine) dialBudget() int64 {
 	if e.staticBudget >= 0 {
 		return e.staticBudget
 	}
-	var total int64
-	for v := 0; v < e.n; v++ {
-		if !e.topo.Alive(v) {
-			continue
-		}
-		d := e.topo.Degree(v)
-		if d > e.k {
-			d = e.k
-		}
-		total += int64(d)
-	}
-	return total
+	return DialBudget(e.topo, e.k)
 }
 
 // aliveCount returns the number of alive nodes.

@@ -87,6 +87,10 @@ func (e *Engine) runSharded() Result {
 	e.informedAt[e.cfg.Source] = 0
 	e.roundCount[0] = 1
 	informedCount := 1
+	obs := e.cfg.Observer
+	if obs != nil {
+		obs.OnInformed(e.cfg.Source, 0)
+	}
 
 	horizon := e.proto.Horizon()
 	neverPulls := false
@@ -142,6 +146,9 @@ func (e *Engine) runSharded() Result {
 		for _, v := range e.pending {
 			e.isPending[v] = false
 			e.informedAt[v] = int32(t)
+			if obs != nil {
+				obs.OnInformed(int(v), t)
+			}
 		}
 		e.roundCount[t] += int64(newly)
 		e.pending = e.pending[:0]
@@ -164,6 +171,9 @@ func (e *Engine) runSharded() Result {
 		}
 
 		if e.noteCompletion(&res, t, informedCount, stepper != nil) {
+			break
+		}
+		if e.cfg.Halt != nil && e.cfg.Halt() {
 			break
 		}
 	}

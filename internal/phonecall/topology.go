@@ -38,6 +38,25 @@ type Stepper interface {
 	Step(round int) (joined []int)
 }
 
+// DialBudget returns the per-round dial budget the model mandates on
+// topo: every alive node dials min(k, degree) neighbours. All engines and
+// the facade charge ChannelsDialed with this one formula.
+func DialBudget(topo Topology, k int) int64 {
+	var total int64
+	n := topo.NumNodes()
+	for v := 0; v < n; v++ {
+		if !topo.Alive(v) {
+			continue
+		}
+		d := topo.Degree(v)
+		if d > k {
+			d = k
+		}
+		total += int64(d)
+	}
+	return total
+}
+
 // Static adapts an immutable graph.Graph to the Topology interface.
 type Static struct {
 	G *graph.Graph

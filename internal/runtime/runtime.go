@@ -38,6 +38,15 @@ type Config struct {
 	MessageLossProb    float64
 	// StopEarly ends the run once all nodes are informed.
 	StopEarly bool
+	// Observer, when non-nil, receives the streaming per-round callbacks of
+	// phonecall.Observer, invoked on the coordinator's goroutine (the one
+	// that called Run) right after each round's commit barrier — a window
+	// in which no node goroutine can write message state, so observers see
+	// a frozen, consistent view and need no synchronisation of their own.
+	Observer phonecall.Observer
+	// Halt, when non-nil, is polled once at the end of every round; a true
+	// return stops the run early (context cancellation in the facade).
+	Halt func() bool
 }
 
 // Result summarises a concurrent run.
@@ -47,7 +56,10 @@ type Result struct {
 	AllInformed      bool
 	FirstAllInformed int
 	Transmissions    int64
-	InformedAt       []int32
+	// ChannelsDialed is rounds × Σ_v min(k, deg(v)): every node dials every
+	// round in the concurrent runtime, mirroring the model's accounting.
+	ChannelsDialed int64
+	InformedAt     []int32
 }
 
 // Run executes the configured broadcast with one goroutine per node.
@@ -93,6 +105,10 @@ func Run(cfg Config) (Result, error) {
 	r.informedAt[cfg.Source] = 0
 	r.informedCount.Store(1)
 	r.dials = make([]int32, n*k)
+	r.dialBudget = phonecall.DialBudget(cfg.Topology, k)
+	if cfg.Observer != nil {
+		cfg.Observer.OnInformed(cfg.Source, 0)
+	}
 
 	master := xrand.New(cfg.Seed)
 	rngs := make([]*xrand.Rand, n)
@@ -112,6 +128,7 @@ func Run(cfg Config) (Result, error) {
 	res := r.coordinate()
 	wg.Wait()
 
+	res.ChannelsDialed = r.dialBudget * int64(res.Rounds)
 	res.InformedAt = append([]int32(nil), r.informedAt...)
 	res.Informed = 0
 	for v := 0; v < n; v++ {
@@ -141,6 +158,7 @@ type runner struct {
 	nextInformed []int32
 
 	dials         []int32 // n×k, each node writes only its own slots
+	dialBudget    int64   // sum of min(k, deg) over all nodes, per round
 	transmissions atomic.Int64
 	informedCount atomic.Int64
 	stop          atomic.Bool
@@ -240,6 +258,8 @@ func (r *runner) deliver(w int32, t int) {
 // coordinate participates in every barrier and tracks completion.
 func (r *runner) coordinate() Result {
 	res := Result{FirstAllInformed: -1}
+	obs := r.cfg.Observer
+	var lastTx int64
 	for t := 1; t <= r.horizon; t++ {
 		r.barrier.wait() // end of dial phase
 		r.barrier.wait() // end of exchange phase
@@ -257,10 +277,39 @@ func (r *runner) coordinate() Result {
 				r.stop.Store(true)
 				stopNow = true
 			}
+			if r.cfg.Halt != nil && r.cfg.Halt() {
+				r.stop.Store(true)
+				stopNow = true
+			}
 			if t == r.horizon {
 				r.stop.Store(true)
 			}
 		})
+		// Observer callbacks run here, on the coordinator's own goroutine,
+		// not in the action hook (which executes on an arbitrary last
+		// arriver). The window is race-free: released node goroutines are
+		// at most in round t+1's dial phase, and the next informedAt write
+		// (their commit phase) cannot happen until this goroutine has
+		// joined two more barriers. The commit barrier above orders round
+		// t's writes before these reads.
+		if obs != nil {
+			newly := 0
+			for v := 0; v < r.n; v++ {
+				if r.informedAt[v] == int32(t) {
+					obs.OnInformed(v, t)
+					newly++
+				}
+			}
+			tx := r.transmissions.Load()
+			obs.OnRound(phonecall.RoundMetrics{
+				Round:         t,
+				NewlyInformed: newly,
+				Informed:      int(r.informedCount.Load()),
+				Transmissions: tx - lastTx,
+				ChannelsDial:  r.dialBudget,
+			})
+			lastTx = tx
+		}
 		if stopNow {
 			break
 		}

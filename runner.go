@@ -1,0 +1,427 @@
+package regcast
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"regcast/internal/phonecall"
+	"regcast/internal/runtime"
+	"regcast/internal/transport"
+)
+
+// Engine selects how a Runner executes a Scenario.
+type Engine int
+
+const (
+	// EngineSequential is the classic single-stream simulator: one PRNG
+	// stream consumed in node order, the trace every historical experiment
+	// in EXPERIMENTS.md was recorded with.
+	EngineSequential Engine = iota
+	// EngineSharded is the sharded parallel simulator: nodes partitioned
+	// into shards with independent PRNG streams, bit-identical results for
+	// every worker count at a fixed shard count.
+	EngineSharded
+	// EngineGoroutinePerNode runs one goroutine per node with
+	// barrier-synchronised rounds (internal/runtime) — the concurrency
+	// stress-test of the protocol logic. Static topologies, uniform
+	// dialing only.
+	EngineGoroutinePerNode
+	// EngineGossipTransport executes the scenario as anti-entropy gossip
+	// over in-memory channel mailboxes (internal/transport): each tick,
+	// every node contacts Choices() random neighbours with push packets
+	// and pull requests. Deployment-shaped, so per-tick metrics are
+	// measured (not simulated) and wall-clock dependent.
+	EngineGossipTransport
+	// EngineTCPTransport is EngineGossipTransport over real loopback TCP
+	// sockets with JSON packets on the wire.
+	EngineTCPTransport
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineSequential:
+		return "sequential"
+	case EngineSharded:
+		return "sharded"
+	case EngineGoroutinePerNode:
+		return "goroutine-per-node"
+	case EngineGossipTransport:
+		return "gossip-transport"
+	case EngineTCPTransport:
+		return "tcp-transport"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// Runner executes Scenarios on a chosen engine. The zero value runs the
+// classic sequential simulator; construct variants with NewRunner. Runners
+// are stateless values — one Runner may run many Scenarios, concurrently
+// if desired (a Scenario built with WithRNG is the exception: its stream
+// is unsynchronised, so never run that one scenario concurrently with
+// itself).
+type Runner struct {
+	engine  Engine
+	workers int
+	shards  int
+	mailbox int
+}
+
+// RunnerOption customises a Runner.
+type RunnerOption func(*Runner)
+
+// WithEngine selects the execution engine explicitly.
+func WithEngine(e Engine) RunnerOption { return func(r *Runner) { r.engine = e } }
+
+// WithWorkers selects between the two simulation engines by worker count,
+// mirroring the commands' -workers flag: 0 is the classic sequential
+// engine, WorkersAuto (-1) the sharded engine with GOMAXPROCS workers, and
+// any n >= 1 the sharded engine with n workers. Apply WithEngine after it
+// to pick a non-simulation engine instead.
+func WithWorkers(n int) RunnerOption {
+	return func(r *Runner) {
+		r.workers = n
+		if n == 0 {
+			r.engine = EngineSequential
+		} else {
+			r.engine = EngineSharded
+		}
+	}
+}
+
+// WithShards fixes the sharded engine's partition count (default
+// DefaultShards). The shard count — not the worker count — determines the
+// trace, so pin it when comparing runs.
+func WithShards(n int) RunnerOption { return func(r *Runner) { r.shards = n } }
+
+// WithMailbox sets the per-node mailbox capacity of the transport engines
+// (default 1024 packets).
+func WithMailbox(n int) RunnerOption { return func(r *Runner) { r.mailbox = n } }
+
+// NewRunner builds a Runner; with no options it runs the classic
+// sequential engine.
+func NewRunner(opts ...RunnerOption) Runner {
+	var r Runner
+	for _, opt := range opts {
+		opt(&r)
+	}
+	return r
+}
+
+// Result summarises a completed run, independent of the engine that
+// produced it.
+type Result struct {
+	// Engine records which engine executed the run.
+	Engine Engine
+	// Rounds is the number of rounds (transport engines: ticks) executed.
+	Rounds int
+	// Informed is the number of informed alive nodes at the end.
+	Informed int
+	// AliveNodes is the number of alive nodes at the end.
+	AliveNodes int
+	// AllInformed reports whether every alive node was informed at the end.
+	AllInformed bool
+	// FirstAllInformed is the earliest round after which every alive node
+	// was informed, or -1 if that never happened.
+	FirstAllInformed int
+	// Transmissions counts message transmissions (transport engines:
+	// packets handed to the transport).
+	Transmissions int64
+	// ChannelsDialed counts the channel dials the model mandates.
+	ChannelsDialed int64
+	// InformedAt[v] is the round in which v first received the message
+	// (Uninformed if never).
+	InformedAt []int32
+	// PerRound holds per-round metrics when the scenario was built with
+	// WithRecordRounds.
+	PerRound []RoundStats
+}
+
+// Run executes the scenario with default runner options — the sequential
+// engine unless opts say otherwise.
+func Run(ctx context.Context, s Scenario, opts ...RunnerOption) (Result, error) {
+	return NewRunner(opts...).Run(ctx, s)
+}
+
+// Run executes one scenario. Cancelling ctx stops the run at the next
+// round boundary and returns ctx.Err() alongside the partial result
+// accumulated so far.
+func (r Runner) Run(ctx context.Context, s Scenario) (Result, error) {
+	if err := s.validate(); err != nil {
+		return Result{}, err
+	}
+	if r.workers < WorkersAuto {
+		return Result{}, fmt.Errorf("regcast: workers %d invalid (use WorkersAuto, 0 or a positive count)", r.workers)
+	}
+	switch r.engine {
+	case EngineSequential, EngineSharded:
+		return r.runSimulation(ctx, s)
+	case EngineGoroutinePerNode:
+		return r.runGoroutinePerNode(ctx, s)
+	case EngineGossipTransport, EngineTCPTransport:
+		return r.runTransport(ctx, s)
+	default:
+		return Result{}, fmt.Errorf("regcast: unknown engine %v", r.engine)
+	}
+}
+
+// haltFor adapts ctx cancellation to the engines' per-round Halt poll.
+func haltFor(ctx context.Context) func() bool {
+	if ctx == nil {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// ctxErr reports the cancellation error to attach to a partial result.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// runSimulation drives the sequential or sharded phone-call engine.
+func (r Runner) runSimulation(ctx context.Context, s Scenario) (Result, error) {
+	workers := 0
+	if r.engine == EngineSharded {
+		workers = r.workers
+		if workers == 0 {
+			workers = WorkersAuto
+		}
+	}
+	cfg := phonecall.Config{
+		Topology:           s.topo,
+		Protocol:           s.proto,
+		Source:             s.source,
+		RNG:                s.runRNG(),
+		ChannelFailureProb: s.channelFailure,
+		MessageLossProb:    s.messageLoss,
+		DialStrategy:       s.dial,
+		AvoidRecent:        s.avoidRecent,
+		RecordRounds:       s.recordRounds,
+		TrackEdgeUse:       s.trackEdgeUse,
+		StopEarly:          s.stopEarly,
+		Workers:            workers,
+		Shards:             r.shards,
+		Observer:           s.observer(),
+		Halt:               haltFor(ctx),
+	}
+	res, err := phonecall.Run(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Engine:           r.engine,
+		Rounds:           res.Rounds,
+		Informed:         res.Informed,
+		AliveNodes:       res.AliveNodes,
+		AllInformed:      res.AllInformed,
+		FirstAllInformed: res.FirstAllInformed,
+		Transmissions:    res.Transmissions,
+		ChannelsDialed:   res.ChannelsDialed,
+		InformedAt:       res.InformedAt,
+		PerRound:         res.PerRound,
+	}, ctxErr(ctx)
+}
+
+// runGoroutinePerNode drives internal/runtime: one goroutine per node.
+func (r Runner) runGoroutinePerNode(ctx context.Context, s Scenario) (Result, error) {
+	if s.dynamic() {
+		return Result{}, fmt.Errorf("regcast: the %v engine requires a static topology (churn needs a simulation engine)", r.engine)
+	}
+	if s.dial != DialUniform {
+		return Result{}, fmt.Errorf("regcast: the %v engine supports only DialUniform", r.engine)
+	}
+	if s.avoidRecent > 0 {
+		return Result{}, fmt.Errorf("regcast: the %v engine does not implement dial memory (WithAvoidRecent)", r.engine)
+	}
+	if s.trackEdgeUse {
+		return Result{}, fmt.Errorf("regcast: the %v engine does not implement the edge-use census (WithTrackEdgeUse)", r.engine)
+	}
+	obs := s.observer()
+	var collector *roundCollector
+	if s.recordRounds {
+		// The concurrent runtime has no trace retention of its own; feed
+		// Result.PerRound from the same streaming path observers use.
+		collector = &roundCollector{}
+		if obs == nil {
+			obs = collector
+		} else {
+			obs = multiObserver{collector, obs}
+		}
+	}
+	res, err := runtime.Run(runtime.Config{
+		Topology:           s.topo,
+		Protocol:           s.proto,
+		Source:             s.source,
+		Seed:               s.runSeed(),
+		ChannelFailureProb: s.channelFailure,
+		MessageLossProb:    s.messageLoss,
+		StopEarly:          s.stopEarly,
+		Observer:           obs,
+		Halt:               haltFor(ctx),
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	n := s.topo.NumNodes()
+	out := Result{
+		Engine:           r.engine,
+		Rounds:           res.Rounds,
+		Informed:         res.Informed,
+		AliveNodes:       n,
+		AllInformed:      res.AllInformed,
+		FirstAllInformed: res.FirstAllInformed,
+		Transmissions:    res.Transmissions,
+		ChannelsDialed:   res.ChannelsDialed,
+		InformedAt:       res.InformedAt,
+	}
+	if collector != nil {
+		out.PerRound = collector.rounds
+	}
+	return out, ctxErr(ctx)
+}
+
+// runTransport executes the scenario as anti-entropy gossip over a real
+// transport. The protocol contributes its fan-out (Choices) and tick
+// budget (Horizon); the push/pull schedule itself is the transport
+// cluster's continuous anti-entropy, so traces are wall-clock dependent
+// and not reproducible from the seed alone.
+func (r Runner) runTransport(ctx context.Context, s Scenario) (Result, error) {
+	st, ok := s.topo.(phonecall.Static)
+	if !ok {
+		return Result{}, fmt.Errorf("regcast: the %v engine requires a Static topology", r.engine)
+	}
+	if s.dial != DialUniform || s.avoidRecent > 0 || s.trackEdgeUse {
+		return Result{}, fmt.Errorf("regcast: the %v engine supports only DialUniform without dial memory or edge tracking", r.engine)
+	}
+	if s.channelFailure != 0 || s.messageLoss != 0 {
+		return Result{}, fmt.Errorf("regcast: the %v engine does not simulate channel failure or message loss", r.engine)
+	}
+	g := st.G
+	n := g.NumNodes()
+	mailbox := r.mailbox
+	if mailbox == 0 {
+		mailbox = 1024
+	}
+
+	var (
+		tr  transport.Transport
+		err error
+	)
+	if r.engine == EngineTCPTransport {
+		tr, err = transport.NewTCP(n, mailbox)
+	} else {
+		tr, err = transport.NewInMem(n, mailbox)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	cluster, err := transport.NewCluster(g, tr, s.proto.Choices(), s.runSeed())
+	if err != nil {
+		tr.Close()
+		return Result{}, err
+	}
+	defer cluster.Close()
+
+	const rumorID = "regcast/scenario"
+	if err := cluster.Insert(s.source, transport.Rumor{ID: rumorID, Payload: "scenario broadcast"}); err != nil {
+		return Result{}, err
+	}
+
+	obs := s.observer()
+	informedAt := make([]int32, n)
+	for v := range informedAt {
+		informedAt[v] = Uninformed
+	}
+	informedAt[s.source] = 0
+	if obs != nil {
+		obs.OnInformed(s.source, 0)
+	}
+
+	budget := phonecall.DialBudget(s.topo, s.proto.Choices())
+
+	res := Result{Engine: r.engine, FirstAllInformed: -1, AliveNodes: n}
+	informed := 1
+	var lastSent int64
+	halt := haltFor(ctx)
+	for t := 1; t <= s.proto.Horizon(); t++ {
+		if halt != nil && halt() {
+			break
+		}
+		if err := cluster.Tick(); err != nil {
+			return Result{}, err
+		}
+		waitQuiescent(cluster, rumorID)
+
+		newly := 0
+		for v := 0; v < n; v++ {
+			if informedAt[v] == Uninformed && cluster.Node(v).Knows(rumorID) {
+				informedAt[v] = int32(t)
+				if obs != nil {
+					obs.OnInformed(v, t)
+				}
+				newly++
+			}
+		}
+		informed += newly
+		sent := cluster.PacketsSent()
+		rm := RoundStats{
+			Round:         t,
+			NewlyInformed: newly,
+			Informed:      informed,
+			Transmissions: sent - lastSent,
+			ChannelsDial:  budget,
+		}
+		lastSent = sent
+		if obs != nil {
+			obs.OnRound(rm)
+		}
+		if s.recordRounds {
+			res.PerRound = append(res.PerRound, rm)
+		}
+		res.Rounds = t
+		res.ChannelsDialed += budget
+		if informed == n {
+			res.FirstAllInformed = t
+			break // ticks cost wall-clock time; never run an empty tail
+		}
+	}
+	res.Informed = informed
+	res.AllInformed = informed == n
+	res.Transmissions = cluster.PacketsSent()
+	res.InformedAt = informedAt
+	return res, ctxErr(ctx)
+}
+
+// waitQuiescent lets a tick's packets drain: transports deliver
+// asynchronously, so the spread count is only meaningful once it stops
+// moving. Returns once (knowers, packets) is stable for two consecutive
+// polls or the per-tick deadline passes.
+func waitQuiescent(c *transport.Cluster, rumorID string) {
+	deadline := time.Now().Add(time.Second)
+	prevKnow, prevSent := -1, int64(-1)
+	for time.Now().Before(deadline) {
+		know := c.CountKnowing(rumorID)
+		sent := c.PacketsSent()
+		if know == prevKnow && sent == prevSent {
+			return
+		}
+		prevKnow, prevSent = know, sent
+		time.Sleep(2 * time.Millisecond)
+	}
+}

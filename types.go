@@ -1,0 +1,76 @@
+package regcast
+
+import (
+	"regcast/internal/core"
+	"regcast/internal/graph"
+	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
+)
+
+// The facade re-exports the simulation model's core types as aliases, so
+// programs build scenarios, implement protocols, and consume results using
+// only the regcast import path. The aliased types are identical to the
+// internal ones — a Protocol written against the facade runs unchanged on
+// every engine.
+type (
+	// Protocol is a strictly oblivious broadcast schedule; see the
+	// documentation on phonecall.Protocol for the model's ground rules.
+	Protocol = phonecall.Protocol
+	// PullFree is the optional marker for protocols that never pull.
+	PullFree = phonecall.PullFree
+	// Topology is the engines' view of the network.
+	Topology = phonecall.Topology
+	// Stepper marks topologies that churn between rounds.
+	Stepper = phonecall.Stepper
+	// DialStrategy selects the neighbour-selection discipline.
+	DialStrategy = phonecall.DialStrategy
+	// RoundStats carries the per-round metrics streamed to observers and
+	// recorded in Result.PerRound.
+	RoundStats = phonecall.RoundMetrics
+	// Observer receives streaming per-round callbacks; see the
+	// documentation on phonecall.Observer for the ordering guarantees.
+	Observer = phonecall.Observer
+	// Graph is an immutable undirected multigraph (see internal/graph for
+	// generators beyond RandomRegular).
+	Graph = graph.Graph
+	// Rand is the deterministic splittable PRNG that drives every engine.
+	Rand = xrand.Rand
+)
+
+const (
+	// DialUniform is the (modified) random phone call model's discipline: k
+	// distinct neighbours chosen uniformly every round.
+	DialUniform = phonecall.DialUniform
+	// DialQuasirandom is the quasirandom rumor-spreading discipline of
+	// Doerr, Friedrich & Sauerwald: successive neighbour-list entries from
+	// a random start. Push-only protocols only; NewScenario enforces this.
+	DialQuasirandom = phonecall.DialQuasirandom
+	// Uninformed is the sentinel receipt round in Result.InformedAt for
+	// nodes that never received the message.
+	Uninformed = phonecall.Uninformed
+	// WorkersAuto selects GOMAXPROCS workers for the sharded engine.
+	WorkersAuto = phonecall.WorkersAuto
+	// DefaultShards is the sharded engine's default partition count; the
+	// shard count (not the worker count) determines the trace.
+	DefaultShards = phonecall.DefaultShards
+)
+
+// NewRand returns a deterministic PRNG seeded with seed. Split it to derive
+// independent streams (topology generation vs. the run itself).
+func NewRand(seed uint64) *Rand { return xrand.New(seed) }
+
+// NewRegularGraph generates a simple random d-regular graph on n nodes —
+// the paper's standard topology — from the given stream.
+func NewRegularGraph(n, d int, rng *Rand) (*Graph, error) {
+	return graph.RandomRegular(n, d, rng)
+}
+
+// Static wraps an immutable graph as a Topology.
+func Static(g *Graph) Topology { return phonecall.NewStatic(g) }
+
+// NewFourChoice returns the paper's headline protocol for an n-node
+// d-regular network: four distinct dials per round on a phased
+// push/pull schedule, O(log n) rounds and O(n·log log n) transmissions.
+// The variant (Algorithm 1 or 2) is chosen from d as in internal/core;
+// use that package directly for explicit variants and ablation options.
+func NewFourChoice(n, d int) (Protocol, error) { return core.New(n, d) }
