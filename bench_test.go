@@ -6,14 +6,20 @@ import (
 	"testing"
 
 	"regcast"
+	"regcast/experiments"
 	"regcast/internal/baseline"
-	"regcast/internal/experiments"
 )
 
 // Each benchmark regenerates one experiment from DESIGN.md's index in the
 // Quick profile (the Full profile is cmd/experiments' job). The benchmark
 // numbers measure the cost of reproducing the experiment; the scientific
 // content is in the emitted tables, printed once under -v via b.Log.
+//
+// The Quick profile is also the -short contract of this file: experiment
+// benches run the same bounded workload with and without -short, so the
+// CI benchmark smoke (`go test -short -bench . -benchtime 1x`) can never
+// grow a large sweep — the scale sweeps live in scale_bench_test.go and
+// skip themselves under -short.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	e, ok := experiments.ByID(id)

@@ -7,7 +7,12 @@
 //	experiments -run E2,E4       # a subset
 //	experiments -quick           # the fast CI profile
 //	experiments -markdown        # GitHub-flavoured Markdown output
-//	experiments -workers -1      # broadcasts on the sharded engine
+//	experiments -workers -1      # each broadcast on the sharded engine
+//	experiments -rep-workers -1  # replication ensembles on a GOMAXPROCS pool
+//
+// -workers parallelises inside one run (sharding), -rep-workers across
+// whole runs (the batch layer); the two compose, and neither changes any
+// table — results are a pure function of -seed.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"strings"
 
 	"regcast"
+	"regcast/experiments"
 )
 
 func main() {
@@ -32,23 +38,28 @@ func run() error {
 		quick    = flag.Bool("quick", false, "use the fast profile (smaller sweeps)")
 		markdown = flag.Bool("markdown", false, "emit Markdown instead of plain text")
 		parallel = flag.Bool("parallel", false, "deprecated alias for -workers -1 (sharded engine, GOMAXPROCS workers)")
-		common   = regcast.AddCommonFlags(flag.CommandLine)
+		repWork  = flag.Int("rep-workers", 0,
+			"replication-pool workers over whole runs: 0/1 = serial, -1 = GOMAXPROCS, n = n workers (never changes results)")
+		common = regcast.AddCommonFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		return err
 	}
+	if *repWork < regcast.WorkersAuto {
+		return fmt.Errorf("-rep-workers %d invalid (use -1, 0 or a positive count)", *repWork)
+	}
 	if *parallel && common.Workers == 0 {
 		common.Workers = regcast.WorkersAuto
 	}
 
-	var selected []regcast.Experiment
+	var selected []experiments.Experiment
 	if *runIDs == "" {
-		selected = regcast.Experiments()
+		selected = experiments.All()
 	} else {
 		for _, id := range strings.Split(*runIDs, ",") {
 			id = strings.TrimSpace(id)
-			e, ok := regcast.ExperimentByID(id)
+			e, ok := experiments.ByID(id)
 			if !ok {
 				return fmt.Errorf("unknown experiment %q", id)
 			}
@@ -56,7 +67,7 @@ func run() error {
 		}
 	}
 
-	opts := common.ExperimentOptions(*quick)
+	opts := experiments.FromFlags(common, *quick, *repWork)
 	for _, e := range selected {
 		if *markdown {
 			fmt.Printf("## %s — %s\n\n", e.ID, e.Title)

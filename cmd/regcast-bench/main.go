@@ -1,0 +1,224 @@
+// Command regcast-bench runs a named sweep grid through the batch
+// replication engine and writes the machine-readable regcast.Report —
+// the repo's perf-trajectory format (CI uploads the JSON as the
+// BENCH_ci.json artifact on every push to main).
+//
+// Usage:
+//
+//	regcast-bench -grid ci                          # the CI smoke grid, JSON to stdout
+//	regcast-bench -grid scaling -o BENCH.json       # the E1-shaped n-sweep
+//	regcast-bench -grid faults -format csv          # flat CSV for plotting
+//	regcast-bench -grid protocols -rep-workers -1   # replications on a GOMAXPROCS pool
+//	regcast-bench -grid degrees -timing             # include per-cell wall-clock
+//
+// Determinism: for a fixed -seed, grid and flag set (without -timing),
+// the output bytes are identical across runs and across every
+// -rep-workers value — -rep-workers and -workers only change wall-clock
+// time. -timing adds machine-dependent per-cell wall-clock fields and is
+// meant for perf-trajectory artifacts, not for byte comparison.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"regcast"
+	"regcast/internal/baseline"
+	"regcast/internal/core"
+)
+
+// protoFactory builds a protocol for an n-node d-regular network; the
+// protocol axis of every grid carries these as its values.
+type protoFactory func(n, d int) (regcast.Protocol, error)
+
+var protocols = map[string]protoFactory{
+	"four-choice": func(n, d int) (regcast.Protocol, error) { return regcast.NewFourChoice(n, d) },
+	"push":        func(n, d int) (regcast.Protocol, error) { return baseline.NewPush(n, 1) },
+	"pull":        func(n, d int) (regcast.Protocol, error) { return baseline.NewPull(n, 1) },
+	"push-pull":   func(n, d int) (regcast.Protocol, error) { return baseline.NewPushPull(n, 1) },
+	"algorithm1":  func(n, d int) (regcast.Protocol, error) { return core.NewAlgorithm1(n) },
+}
+
+// protoAxis builds the protocol axis from registered factory names.
+func protoAxis(names ...string) regcast.Axis {
+	ax := regcast.Axis{Name: "protocol"}
+	for _, name := range names {
+		ax.Values = append(ax.Values, regcast.Val(name, protocols[name]))
+	}
+	return ax
+}
+
+// buildCell is the shared Build function of every grid: it reads the
+// point's n / degree / protocol / fault axes (absent axes fall back to the
+// given defaults), generates the cell's graph from the point seed, and
+// returns a source-randomised batch over the scenario.
+func buildCell(p regcast.Point, defaults cellDefaults) (regcast.Batch, error) {
+	n, d := defaults.n, defaults.d
+	mk := defaults.proto
+	var failure, loss float64
+	for _, prm := range p.Params() {
+		switch prm.Axis {
+		case "n":
+			n = p.Value("n").(int)
+		case "d":
+			d = p.Value("d").(int)
+		case "protocol":
+			mk = p.Value("protocol").(protoFactory)
+		case "failure":
+			failure = p.Value("failure").(float64)
+		case "loss":
+			loss = p.Value("loss").(float64)
+		}
+	}
+	rng := regcast.NewRand(p.Seed)
+	g, err := regcast.NewRegularGraph(n, d, rng.Split())
+	if err != nil {
+		return regcast.Batch{}, err
+	}
+	proto, err := mk(n, d)
+	if err != nil {
+		return regcast.Batch{}, err
+	}
+	sc, err := regcast.NewScenario(regcast.Static(g), proto,
+		regcast.WithSeed(rng.Uint64()),
+		regcast.WithChannelFailure(failure),
+		regcast.WithMessageLoss(loss))
+	if err != nil {
+		return regcast.Batch{}, err
+	}
+	return regcast.Batch{Scenario: sc, RandomizeSource: true}, nil
+}
+
+type cellDefaults struct {
+	n, d  int
+	proto protoFactory
+}
+
+// grid describes one named sweep preset.
+type grid struct {
+	about string
+	reps  int // default replication count
+	axes  []regcast.Axis
+	def   cellDefaults
+}
+
+// grids are the named presets. "ci" is deliberately small: it is the
+// benchmark smoke CI runs on every push.
+var grids = map[string]grid{
+	"ci": {
+		about: "CI smoke: tiny n × {push, four-choice}",
+		reps:  3,
+		axes:  []regcast.Axis{regcast.Vals("n", 256, 512), protoAxis("push", "four-choice")},
+		def:   cellDefaults{d: 8, proto: protocols["four-choice"]},
+	},
+	"scaling": {
+		about: "the E1-shaped sweep: four-choice completion vs n",
+		reps:  5,
+		axes:  []regcast.Axis{regcast.Vals("n", 1<<10, 1<<11, 1<<12, 1<<13, 1<<14), protoAxis("four-choice")},
+		def:   cellDefaults{d: 8, proto: protocols["four-choice"]},
+	},
+	"protocols": {
+		about: "protocol comparison at one size",
+		reps:  5,
+		axes:  []regcast.Axis{protoAxis("push", "pull", "push-pull", "four-choice")},
+		def:   cellDefaults{n: 1 << 12, d: 8, proto: protocols["four-choice"]},
+	},
+	"faults": {
+		about: "channel-failure × message-loss fault grid on four-choice",
+		reps:  5,
+		axes: []regcast.Axis{
+			regcast.Vals("failure", 0.0, 0.1, 0.2),
+			regcast.Vals("loss", 0.0, 0.1, 0.2),
+		},
+		def: cellDefaults{n: 1 << 11, d: 8, proto: protocols["four-choice"]},
+	},
+	"degrees": {
+		// d starts at 8: the four-choice model needs d >= 5 (core.New).
+		about: "topology axis: degree sweep of the random regular graph",
+		reps:  5,
+		axes:  []regcast.Axis{regcast.Vals("d", 8, 16, 32, 64), protoAxis("four-choice")},
+		def:   cellDefaults{n: 1 << 12, d: 8, proto: protocols["four-choice"]},
+	},
+}
+
+func gridNames() string {
+	names := make([]string, 0, len(grids))
+	for name := range grids {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "regcast-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		gridName = flag.String("grid", "ci", "sweep grid to run: "+gridNames())
+		reps     = flag.Int("reps", 0, "replications per cell (0 = the grid's default)")
+		repWork  = flag.Int("rep-workers", 0,
+			"replication-pool workers over whole runs: 0/1 = serial, -1 = GOMAXPROCS, n = n workers (never changes results)")
+		format = flag.String("format", "json", "output format: json|csv")
+		out    = flag.String("o", "", "output file (default stdout)")
+		timing = flag.Bool("timing", false, "record per-cell wall-clock (machine-dependent; breaks byte-determinism)")
+		common = regcast.AddCommonFlags(flag.CommandLine)
+	)
+	flag.Parse()
+	if err := common.Validate(); err != nil {
+		return err
+	}
+	if *repWork < regcast.WorkersAuto {
+		return fmt.Errorf("-rep-workers %d invalid (use -1, 0 or a positive count)", *repWork)
+	}
+	g, ok := grids[*gridName]
+	if !ok {
+		return fmt.Errorf("unknown grid %q (have %s)", *gridName, gridNames())
+	}
+	replications := g.reps
+	if *reps > 0 {
+		replications = *reps
+	}
+
+	sweep := regcast.Sweep{
+		Name:               *gridName,
+		Seed:               common.Seed,
+		Axes:               g.axes,
+		Replications:       replications,
+		ReplicationWorkers: *repWork,
+		Runner:             common.Runner(),
+		Timing:             *timing,
+		Build:              func(p regcast.Point) (regcast.Batch, error) { return buildCell(p, g.def) },
+	}
+	report, err := sweep.Run(context.Background())
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		return report.WriteJSON(w)
+	case "csv":
+		return report.WriteCSV(w)
+	default:
+		return fmt.Errorf("unknown format %q (json|csv)", *format)
+	}
+}

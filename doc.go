@@ -25,6 +25,17 @@
 // Scenario construction fails fast on model violations — e.g.
 // DialQuasirandom with a protocol that may pull.
 //
+// Above the engines sits the batch layer (batch.go, sweep.go,
+// report.go): Batch runs R seed-derived replications of a Scenario on a
+// worker pool of whole runs and aggregates them online (Replicate is
+// the same pool for non-Scenario ensembles), Sweep crosses parameter
+// axes into an ordered grid of Batches, and Report serialises the grid
+// as versioned JSON/CSV — the format cmd/regcast-bench writes and CI
+// uploads. Replication streams are precomputed in replication order and
+// results folded in replication order, so batch aggregates are
+// bit-identical for every ReplicationWorkers value; replication-level
+// parallelism composes with the sharded engine's per-run workers.
+//
 // Behind the facade: the four-choice phased broadcast protocols
 // (internal/core), the random phone call simulator with its sharded
 // parallel round engine (internal/phonecall), random-regular-graph
@@ -32,8 +43,11 @@
 // strictly-oblivious lower-bound machinery (internal/oblivious), baseline
 // gossip protocols (internal/baseline), a churning P2P overlay and a
 // replicated database built on broadcast (internal/p2p), and the
-// per-theorem experiment harness (internal/experiments), re-exported here
-// through Experiments and ExperimentByID.
+// per-theorem experiment harness (internal/experiments) — every one of
+// its replication ensembles routes through the batch layer, and its
+// registry is re-exported by the public regcast/experiments package
+// (the harness consumes this facade, so the root package cannot
+// re-export it without a cycle).
 //
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results. The

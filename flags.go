@@ -46,9 +46,7 @@ func (f *CommonFlags) RunnerOptions() []RunnerOption {
 	return []RunnerOption{WithWorkers(f.Workers)}
 }
 
-// ExperimentOptions builds the experiment-harness options from the shared
-// flags, routing the harness through the same engine selection as every
-// other consumer of the facade.
-func (f *CommonFlags) ExperimentOptions(quick bool) ExperimentOptions {
-	return ExperimentOptions{Seed: f.Seed, Quick: quick, Workers: f.Workers}
+// Runner builds the Runner the flags select.
+func (f *CommonFlags) Runner() Runner {
+	return NewRunner(f.RunnerOptions()...)
 }

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"regcast"
 	"regcast/internal/baseline"
 	"regcast/internal/core"
-	"regcast/internal/phonecall"
 	"regcast/internal/table"
 	"regcast/internal/xrand"
 )
@@ -64,7 +65,7 @@ func runE9(o Options) ([]*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	protos := []phonecall.Protocol{push, pull, pp, four}
+	protos := []regcast.Protocol{push, pull, pp, four}
 
 	// Trajectories: informed fraction at each round, one run per protocol.
 	traj := make([][]float64, len(protos))
@@ -72,14 +73,12 @@ func runE9(o Options) ([]*table.Table, error) {
 		"protocol", "choices", "completion round", "tx/n", "completed")
 	maxRounds := 0
 	for i, p := range protos {
-		res, err := phonecall.Run(phonecall.Config{
-			Topology:     phonecall.NewStatic(g),
-			Protocol:     p,
-			Source:       0,
-			RNG:          master.Split(),
-			RecordRounds: true,
-			Workers:      o.Workers,
-		})
+		sc, err := regcast.NewScenario(regcast.Static(g), p,
+			regcast.WithRNG(master.Split()), regcast.WithRecordRounds())
+		if err != nil {
+			return nil, err
+		}
+		res, err := o.runner().Run(context.Background(), sc)
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +142,7 @@ func runE10(o Options) ([]*table.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, err := measure(o, g, proto, master.Uint64(), reps, nil)
+			st, err := measure(o, g, proto, master.Uint64(), reps)
 			if err != nil {
 				return nil, err
 			}
@@ -173,13 +172,11 @@ func runE11(o Options) ([]*table.Table, error) {
 			return nil, err
 		}
 		seq := core.NewSequentialised(base)
-		stBase, err := measure(o, g, base, master.Uint64(), reps, nil)
+		stBase, err := measure(o, g, base, master.Uint64(), reps)
 		if err != nil {
 			return nil, err
 		}
-		stSeq, err := measure(o, g, seq, master.Uint64(), reps, func(c *phonecall.Config) {
-			c.AvoidRecent = seq.Memory()
-		})
+		stSeq, err := measure(o, g, seq, master.Uint64(), reps, regcast.WithAvoidRecent(seq.Memory()))
 		if err != nil {
 			return nil, err
 		}

@@ -69,7 +69,7 @@ func runE16(o Options) ([]*table.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, err := measure(o, tc.g, proto, master.Uint64(), reps, nil)
+			st, err := measure(o, tc.g, proto, master.Uint64(), reps)
 			if err != nil {
 				return nil, err
 			}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"regcast"
 	"regcast/internal/graph"
 	"regcast/internal/spectral"
 	"regcast/internal/table"
@@ -40,18 +42,39 @@ func runE14(o Options) ([]*table.Table, error) {
 	pairing := table.New(fmt.Sprintf("E14a: pairing-model structure, n=%d (%d graphs per d)", n, reps),
 		"d", "mean self-loops", "mean surplus multi-edges", "simple frac", "connected frac")
 	for _, d := range []int{4, 8, 16} {
+		d := d
+		// One pairing-model graph per replication; the per-replication
+		// counts land in slots and are reduced in replication order.
+		type slot struct {
+			loops, multi      float64
+			simple, connected bool
+		}
+		slots := make([]slot, reps)
+		err := regcast.Replicate(context.Background(), master.Uint64(), reps, o.ReplicationWorkers,
+			func(rep int, rng *regcast.Rand) error {
+				g, err := graph.ConfigurationModel(n, d, rng.Split())
+				if err != nil {
+					return err
+				}
+				slots[rep] = slot{
+					loops:     float64(g.SelfLoopCount()),
+					multi:     float64(g.MultiEdgeCount()),
+					simple:    g.IsSimple(),
+					connected: g.IsConnected(),
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		var loops, multi, simple, connected float64
-		for r := 0; r < reps; r++ {
-			g, err := graph.ConfigurationModel(n, d, master.Split())
-			if err != nil {
-				return nil, err
-			}
-			loops += float64(g.SelfLoopCount())
-			multi += float64(g.MultiEdgeCount())
-			if g.IsSimple() {
+		for _, s := range slots {
+			loops += s.loops
+			multi += s.multi
+			if s.simple {
 				simple++
 			}
-			if g.IsConnected() {
+			if s.connected {
 				connected++
 			}
 		}

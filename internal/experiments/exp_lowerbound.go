@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"regcast"
 	"regcast/internal/oblivious"
-	"regcast/internal/phonecall"
 	"regcast/internal/table"
 	"regcast/internal/xrand"
 )
@@ -54,8 +54,8 @@ func runE4(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, proto := range []phonecall.Protocol{push, both, ptp} {
-			st, err := measure(o, g, proto, master.Uint64(), reps, func(c *phonecall.Config) { c.StopEarly = true })
+		for _, proto := range []regcast.Protocol{push, both, ptp} {
+			st, err := measure(o, g, proto, master.Uint64(), reps, regcast.WithStopEarly())
 			if err != nil {
 				return nil, err
 			}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
+	"regcast"
 	"regcast/internal/core"
 	"regcast/internal/mediancounter"
 	"regcast/internal/table"
@@ -34,20 +36,39 @@ func runE20(o Options) ([]*table.Table, error) {
 		}
 		logLogN := math.Log2(math.Log2(float64(n)))
 
-		// Median-counter (stateful, local termination).
-		var quiet, tx, complete float64
-		for r := 0; r < reps; r++ {
-			res, err := mediancounter.Run(mediancounter.Config{
-				Graph:  g,
-				Source: master.IntN(n),
-				RNG:    master.Split(),
+		// Median-counter (stateful, local termination). The engine lives
+		// outside the Runner, so the ensemble goes through the batch
+		// layer's Replicate primitive instead of a Batch of Scenarios.
+		type slot struct {
+			quiet, tx float64
+			complete  bool
+		}
+		slots := make([]slot, reps)
+		err = regcast.Replicate(context.Background(), master.Uint64(), reps, o.ReplicationWorkers,
+			func(rep int, rng *regcast.Rand) error {
+				res, err := mediancounter.Run(mediancounter.Config{
+					Graph:  g,
+					Source: rng.IntN(n),
+					RNG:    rng.Split(),
+				})
+				if err != nil {
+					return err
+				}
+				slots[rep] = slot{
+					quiet:    float64(res.QuietAt),
+					tx:       float64(res.Transmissions) / float64(n),
+					complete: res.AllInformed,
+				}
+				return nil
 			})
-			if err != nil {
-				return nil, err
-			}
-			quiet += float64(res.QuietAt)
-			tx += float64(res.Transmissions) / float64(n)
-			if res.AllInformed {
+		if err != nil {
+			return nil, err
+		}
+		var quiet, tx, complete float64
+		for _, s := range slots {
+			quiet += s.quiet
+			tx += s.tx
+			if s.complete {
 				complete++
 			}
 		}
@@ -59,7 +80,7 @@ func runE20(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := measure(o, g, proto, master.Uint64(), reps, nil)
+		st, err := measure(o, g, proto, master.Uint64(), reps)
 		if err != nil {
 			return nil, err
 		}

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"regcast"
 	"regcast/internal/core"
 	"regcast/internal/graph"
-	"regcast/internal/phonecall"
 	"regcast/internal/table"
 	"regcast/internal/xrand"
 )
@@ -49,25 +50,25 @@ func init() {
 // β (long Phase 2, so the decay is observable over several rounds) —
 // with the default constants the Phase 1 cascade already covers the graph
 // at laptop sizes. It returns per-round metrics.
-func phaseProfileRun(o Options, n, d int, alpha, beta float64, seed uint64, trackEdges bool) (*core.FourChoice, phonecall.Result, *graph.Graph, error) {
+func phaseProfileRun(o Options, n, d int, alpha, beta float64, seed uint64, trackEdges bool) (*core.FourChoice, regcast.Result, *graph.Graph, error) {
 	master := xrand.New(seed)
 	g, err := regular(n, d, master.Split())
 	if err != nil {
-		return nil, phonecall.Result{}, nil, err
+		return nil, regcast.Result{}, nil, err
 	}
 	proto, err := core.NewAlgorithm1(n, core.WithAlpha(alpha), core.WithBeta(beta))
 	if err != nil {
-		return nil, phonecall.Result{}, nil, err
+		return nil, regcast.Result{}, nil, err
 	}
-	res, err := phonecall.Run(phonecall.Config{
-		Topology:     phonecall.NewStatic(g),
-		Protocol:     proto,
-		Source:       0,
-		RNG:          master.Split(),
-		RecordRounds: true,
-		TrackEdgeUse: trackEdges,
-		Workers:      o.Workers,
-	})
+	opts := []regcast.ScenarioOption{regcast.WithRNG(master.Split()), regcast.WithRecordRounds()}
+	if trackEdges {
+		opts = append(opts, regcast.WithTrackEdgeUse())
+	}
+	sc, err := regcast.NewScenario(regcast.Static(g), proto, opts...)
+	if err != nil {
+		return nil, regcast.Result{}, nil, err
+	}
+	res, err := o.runner().Run(context.Background(), sc)
 	return proto, res, g, err
 }
 
@@ -187,57 +188,86 @@ func runE8(o Options) ([]*table.Table, error) {
 	hTarget := 1.6 * math.Pow(float64(n)/float64(d), 0.8)
 	tb := table.New(fmt.Sprintf("E8: residual degrees of H(t*) with h≈%.0f, n=%d d=%d (mean over %d runs)", hTarget, n, d, reps),
 		"quantity", "measured (mean)", "prediction (mean)", "measured/prediction")
+	// Each replication runs its own broadcast and reduces it to the
+	// residual-degree counts; the slots are merged in replication order
+	// after the pool drains, so the table is independent of
+	// ReplicationWorkers.
+	type slot struct {
+		used                bool
+		h, h1, h4, h5       float64
+		pred1, pred4, pred5 float64
+	}
+	slots := make([]slot, reps)
+	err := regcast.Replicate(context.Background(), o.Seed, reps, o.ReplicationWorkers,
+		func(rep int, rng *regcast.Rand) error {
+			_, res, g, err := phaseProfileRun(o, n, d, 0.6, 2.5, rng.Uint64(), false)
+			if err != nil {
+				return err
+			}
+			// Locate t*: the recorded round whose uninformed count is
+			// closest to the target window (and strictly inside the
+			// hd/n < 1 regime).
+			bestT, bestH := -1, 0
+			for _, rm := range res.PerRound {
+				hh := n - rm.Informed
+				if float64(hh)*float64(d)/float64(n) >= 0.9 || hh == 0 {
+					continue
+				}
+				if bestT < 0 || math.Abs(float64(hh)-hTarget) < math.Abs(float64(bestH)-hTarget) {
+					bestT, bestH = rm.Round, hh
+				}
+			}
+			if bestT < 0 {
+				return nil
+			}
+			s := &slots[rep]
+			s.used = true
+			inH := make([]bool, n)
+			for v := 0; v < n; v++ {
+				if res.InformedAt[v] == regcast.Uninformed || int(res.InformedAt[v]) > bestT {
+					inH[v] = true
+				}
+			}
+			hh := float64(bestH)
+			s.h = hh
+			p := hh / float64(n)
+			s.pred1 = hh * binomTail(d, p, 1)
+			s.pred4 = hh * binomTail(d, p, 4)
+			s.pred5 = hh * binomTail(d, p, 5)
+			for v := 0; v < n; v++ {
+				if !inH[v] {
+					continue
+				}
+				nb := g.NeighborsInSet(v, inH)
+				if nb >= 1 {
+					s.h1++
+				}
+				if nb >= 4 {
+					s.h4++
+				}
+				if nb >= 5 {
+					s.h5++
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var h, h1, h4, h5, pred1, pred4, pred5 float64
 	used := 0
-	master := xrand.New(o.Seed)
-	for r := 0; r < reps; r++ {
-		_, res, g, err := phaseProfileRun(o, n, d, 0.6, 2.5, master.Uint64(), false)
-		if err != nil {
-			return nil, err
-		}
-		// Locate t*: the recorded round whose uninformed count is closest
-		// to the target window (and strictly inside the hd/n < 1 regime).
-		bestT, bestH := -1, 0
-		for _, rm := range res.PerRound {
-			hh := n - rm.Informed
-			if float64(hh)*float64(d)/float64(n) >= 0.9 || hh == 0 {
-				continue
-			}
-			if bestT < 0 || math.Abs(float64(hh)-hTarget) < math.Abs(float64(bestH)-hTarget) {
-				bestT, bestH = rm.Round, hh
-			}
-		}
-		if bestT < 0 {
+	for _, s := range slots {
+		if !s.used {
 			continue
 		}
 		used++
-		inH := make([]bool, n)
-		for v := 0; v < n; v++ {
-			if res.InformedAt[v] == phonecall.Uninformed || int(res.InformedAt[v]) > bestT {
-				inH[v] = true
-			}
-		}
-		hh := float64(bestH)
-		h += hh
-		p := hh / float64(n)
-		pred1 += hh * binomTail(d, p, 1)
-		pred4 += hh * binomTail(d, p, 4)
-		pred5 += hh * binomTail(d, p, 5)
-		for v := 0; v < n; v++ {
-			if !inH[v] {
-				continue
-			}
-			nb := g.NeighborsInSet(v, inH)
-			if nb >= 1 {
-				h1++
-			}
-			if nb >= 4 {
-				h4++
-			}
-			if nb >= 5 {
-				h5++
-			}
-		}
+		h += s.h
+		h1 += s.h1
+		h4 += s.h4
+		h5 += s.h5
+		pred1 += s.pred1
+		pred4 += s.pred4
+		pred5 += s.pred5
 	}
 	if used == 0 {
 		tb.AddNote("no run produced an uninformed set in the measurable window")

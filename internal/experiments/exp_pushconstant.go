@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"regcast"
 	"regcast/internal/baseline"
-	"regcast/internal/phonecall"
 	"regcast/internal/table"
 	"regcast/internal/xrand"
 )
@@ -46,7 +46,7 @@ func runE19(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := measure(o, g, push, master.Uint64(), reps, func(c *phonecall.Config) { c.StopEarly = true })
+		st, err := measure(o, g, push, master.Uint64(), reps, regcast.WithStopEarly())
 		if err != nil {
 			return nil, err
 		}

@@ -3,8 +3,8 @@ package experiments
 import (
 	"math"
 
+	"regcast"
 	"regcast/internal/baseline"
-	"regcast/internal/phonecall"
 	"regcast/internal/stats"
 	"regcast/internal/table"
 	"regcast/internal/xrand"
@@ -38,16 +38,12 @@ func runE17(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		stUni, err := measure(o, g, push, master.Uint64(), reps, func(c *phonecall.Config) {
-			c.StopEarly = true
-		})
+		stUni, err := measure(o, g, push, master.Uint64(), reps, regcast.WithStopEarly())
 		if err != nil {
 			return nil, err
 		}
-		stQuasi, err := measure(o, g, push, master.Uint64(), reps, func(c *phonecall.Config) {
-			c.StopEarly = true
-			c.DialStrategy = phonecall.DialQuasirandom
-		})
+		stQuasi, err := measure(o, g, push, master.Uint64(), reps,
+			regcast.WithStopEarly(), regcast.WithDialStrategy(regcast.DialQuasirandom))
 		if err != nil {
 			return nil, err
 		}

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"regcast"
 	"regcast/internal/core"
 	"regcast/internal/p2p/overlay"
-	"regcast/internal/phonecall"
 	"regcast/internal/table"
 	"regcast/internal/xrand"
 )
@@ -48,9 +49,7 @@ func runE12(o Options) ([]*table.Table, error) {
 	chans := table.New(fmt.Sprintf("E12a: channel-failure sweep, n=%d d=%d", n, d),
 		"failure prob", "completed", "informed frac", "rounds (mean)", "tx/n")
 	for _, p := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
-		st, err := measure(o, g, proto, master.Uint64(), reps, func(c *phonecall.Config) {
-			c.ChannelFailureProb = p
-		})
+		st, err := measure(o, g, proto, master.Uint64(), reps, regcast.WithChannelFailure(p))
 		if err != nil {
 			return nil, err
 		}
@@ -61,9 +60,7 @@ func runE12(o Options) ([]*table.Table, error) {
 	loss := table.New(fmt.Sprintf("E12b: message-loss sweep, n=%d d=%d", n, d),
 		"loss prob", "completed", "informed frac", "rounds (mean)", "tx/n")
 	for _, p := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
-		st, err := measure(o, g, proto, master.Uint64(), reps, func(c *phonecall.Config) {
-			c.MessageLossProb = p
-		})
+		st, err := measure(o, g, proto, master.Uint64(), reps, regcast.WithMessageLoss(p))
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +92,7 @@ func runE13(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := measure(o, g, proto, master.Uint64(), reps, nil)
+		st, err := measure(o, g, proto, master.Uint64(), reps)
 		if err != nil {
 			return nil, err
 		}
@@ -103,41 +100,50 @@ func runE13(o Options) ([]*table.Table, error) {
 	}
 	est.AddNote("constant-factor misestimates keep completing (underestimates shorten Phase 1 and cut it close; overestimates just pay longer schedules)")
 
-	// Part b: churn-rate sweep on the maintained overlay.
+	// Part b: churn-rate sweep on the maintained overlay. Every
+	// replication needs its own overlay (the churner mutates it), so this
+	// batch builds per-replication scenarios through Batch.New instead of
+	// replicating one fixed Scenario.
 	churn := table.New(fmt.Sprintf("E13b: churn sweep on the d-regular overlay, n≈%d d=%d", n, d),
 		"join/leave prob per round", "informed frac (alive)", "overlay intact")
 	for _, q := range []float64{0, 0.001, 0.002, 0.005, 0.01, 0.02} {
-		frac := 0.0
+		q := q
+		ovs := make([]*overlay.Overlay, reps)
+		res, err := regcast.Batch{
+			Seed:               master.Uint64(),
+			Replications:       reps,
+			ReplicationWorkers: o.ReplicationWorkers,
+			Runner:             o.runner(),
+			New: func(rep int, rng *regcast.Rand) (regcast.Scenario, error) {
+				ov, err := overlay.New(n, d, n, rng.Split())
+				if err != nil {
+					return regcast.Scenario{}, err
+				}
+				ch, err := overlay.NewChurner(ov, q, q, 5, rng.Split())
+				if err != nil {
+					return regcast.Scenario{}, err
+				}
+				proto, err := core.NewAlgorithm1(n)
+				if err != nil {
+					return regcast.Scenario{}, err
+				}
+				ovs[rep] = ov
+				return regcast.NewScenario(churningOverlay{ov, ch}, proto, regcast.WithRNG(rng.Split()))
+			},
+		}.Run(context.Background())
+		if err != nil {
+			return nil, err
+		}
 		intact := true
-		for r := 0; r < reps; r++ {
-			ov, err := overlay.New(n, d, n, master.Split())
-			if err != nil {
-				return nil, err
+		for _, ov := range ovs {
+			if ov == nil {
+				continue
 			}
-			ch, err := overlay.NewChurner(ov, q, q, 5, master.Split())
-			if err != nil {
-				return nil, err
-			}
-			proto, err := core.NewAlgorithm1(n)
-			if err != nil {
-				return nil, err
-			}
-			res, err := phonecall.Run(phonecall.Config{
-				Topology: churningOverlay{ov, ch},
-				Protocol: proto,
-				Source:   0,
-				RNG:      master.Split(),
-				Workers:  o.Workers,
-			})
-			if err != nil {
-				return nil, err
-			}
-			frac += float64(res.Informed) / float64(res.AliveNodes)
 			if err := ov.CheckInvariants(); err != nil {
 				intact = false
 			}
 		}
-		churn.AddRow(f3(q), f3(frac/float64(reps)), intact)
+		churn.AddRow(f3(q), f3(res.InformedFrac.Mean), intact)
 	}
 	churn.AddNote("peers joining after the pull round are unreachable by design; the shortfall tracks churn_rate × post-pull rounds (the paper's 'limited changes' caveat)")
 	return []*table.Table{est, churn}, nil
@@ -150,6 +156,6 @@ type churningOverlay struct {
 	ch *overlay.Churner
 }
 
-var _ phonecall.Stepper = churningOverlay{}
+var _ regcast.Stepper = churningOverlay{}
 
 func (c churningOverlay) Step(round int) []int { return c.ch.Step(round) }

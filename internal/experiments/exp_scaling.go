@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"regcast"
 	"regcast/internal/baseline"
 	"regcast/internal/core"
-	"regcast/internal/phonecall"
 	"regcast/internal/stats"
 	"regcast/internal/table"
 	"regcast/internal/xrand"
@@ -52,7 +53,7 @@ func runE1(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := measure(o, g, proto, master.Uint64(), reps, nil)
+		st, err := measure(o, g, proto, master.Uint64(), reps)
 		if err != nil {
 			return nil, err
 		}
@@ -97,19 +98,19 @@ func runE2(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		stFour, err := measure(o, g, four, master.Uint64(), reps, nil)
+		stFour, err := measure(o, g, four, master.Uint64(), reps)
 		if err != nil {
 			return nil, err
 		}
-		stPushFixed, err := measure(o, g, push, master.Uint64(), reps, nil)
+		stPushFixed, err := measure(o, g, push, master.Uint64(), reps)
 		if err != nil {
 			return nil, err
 		}
-		stPushStop, err := measure(o, g, push, master.Uint64(), reps, func(c *phonecall.Config) { c.StopEarly = true })
+		stPushStop, err := measure(o, g, push, master.Uint64(), reps, regcast.WithStopEarly())
 		if err != nil {
 			return nil, err
 		}
-		stPP, err := measure(o, g, pp, master.Uint64(), reps, nil)
+		stPP, err := measure(o, g, pp, master.Uint64(), reps)
 		if err != nil {
 			return nil, err
 		}
@@ -160,14 +161,12 @@ func phaseBudgetTable(o Options, d int) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := phonecall.Run(phonecall.Config{
-		Topology:     phonecall.NewStatic(g),
-		Protocol:     proto,
-		Source:       0,
-		RNG:          master.Split(),
-		RecordRounds: true,
-		Workers:      o.Workers,
-	})
+	sc, err := regcast.NewScenario(regcast.Static(g), proto,
+		regcast.WithRNG(master.Split()), regcast.WithRecordRounds())
+	if err != nil {
+		return nil, err
+	}
+	res, err := o.runner().Run(context.Background(), sc)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +207,7 @@ func runE3(o Options) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := measure(o, g, proto, master.Uint64(), reps, nil)
+		st, err := measure(o, g, proto, master.Uint64(), reps)
 		if err != nil {
 			return nil, err
 		}

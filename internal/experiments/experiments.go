@@ -7,15 +7,22 @@
 //
 // All experiments run in two profiles: Quick (used by `go test -bench` and
 // CI: smaller sweeps, fewer repetitions) and Full (used by
-// cmd/experiments to regenerate EXPERIMENTS.md).
+// cmd/experiments to regenerate EXPERIMENTS.md). Since the batch
+// redesign, every replication ensemble in the harness routes through the
+// facade's batch layer — regcast.Batch for broadcast ensembles,
+// regcast.Replicate for non-broadcast ones (graph structure, the
+// median-counter engine) — so Options.ReplicationWorkers parallelises a
+// full paper regeneration across whole runs while keeping every table a
+// pure function of Options.Seed.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"regcast"
 	"regcast/internal/graph"
-	"regcast/internal/phonecall"
 	"regcast/internal/table"
 	"regcast/internal/xrand"
 )
@@ -26,15 +33,25 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks sweeps and repetition counts for benches and CI.
 	Quick bool
-	// Workers selects the broadcast engine with phonecall.Config.Workers
-	// semantics — 0 the classic sequential engine, WorkersAuto (-1) the
-	// sharded engine with GOMAXPROCS workers, n >= 1 the sharded engine
-	// with n workers — exactly the regcast facade's -workers flag. The
-	// sharded profiles stay reproducible from Seed but differ bit-wise
-	// from the sequential one: the sharded engine consumes per-shard PRNG
-	// streams, the sequential one a single stream. Worker count never
-	// changes results — only the wall-clock time.
+	// Workers selects the per-run broadcast engine with the facade's
+	// -workers semantics — 0 the classic sequential engine, WorkersAuto
+	// (-1) the sharded engine with GOMAXPROCS workers, n >= 1 the sharded
+	// engine with n workers. The sharded profiles stay reproducible from
+	// Seed but differ bit-wise from the sequential one: the sharded engine
+	// consumes per-shard PRNG streams, the sequential one a single stream.
+	// Worker count never changes results — only the wall-clock time.
 	Workers int
+	// ReplicationWorkers sets the batch layer's pool width over whole
+	// replications (regcast.Batch semantics: 0/1 serial, WorkersAuto =
+	// GOMAXPROCS, n > 1 fixed). Replication-level parallelism composes
+	// with Workers' per-run sharding and never changes any table — the
+	// batch engine aggregates in replication order.
+	ReplicationWorkers int
+}
+
+// runner returns the per-run engine the profile selects.
+func (o Options) runner() regcast.Runner {
+	return regcast.NewRunner(regcast.WithWorkers(o.Workers))
 }
 
 // Experiment is one registered, reproducible measurement.
@@ -91,44 +108,41 @@ type runStats struct {
 	InformedFrac  float64 // mean informed fraction over all runs
 }
 
-// measure runs proto on g for reps seeds derived from seed, applying mutate
-// (if non-nil) to each Config before running. The o profile selects the
-// engine through Options.Workers (phonecall.Config.Workers semantics).
-func measure(o Options, g *graph.Graph, proto phonecall.Protocol, seed uint64, reps int, mutate func(*phonecall.Config)) (runStats, error) {
-	st := runStats{Reps: reps}
-	completed := 0
-	var roundsSum float64
-	master := xrand.New(seed)
-	for r := 0; r < reps; r++ {
-		cfg := phonecall.Config{
-			Topology: phonecall.NewStatic(g),
-			Protocol: proto,
-			Source:   master.IntN(g.NumNodes()),
-			RNG:      master.Split(),
-			Workers:  o.Workers,
-		}
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		res, err := phonecall.Run(cfg)
-		if err != nil {
-			return st, err
-		}
-		st.MeanTx += float64(res.Transmissions)
-		st.InformedFrac += float64(res.Informed) / float64(res.AliveNodes)
-		if res.AllInformed {
-			completed++
-			roundsSum += float64(res.FirstAllInformed)
-		}
+// fromBatch converts a batch aggregate into the harness's summary shape.
+func fromBatch(res regcast.BatchResult) runStats {
+	return runStats{
+		Reps:          res.Replications,
+		MeanRounds:    res.Rounds.Mean,
+		MeanTx:        res.Transmissions.Mean,
+		MeanTxPerNode: res.TxPerNode.Mean,
+		CompletedFrac: res.CompletedFrac(),
+		InformedFrac:  res.InformedFrac.Mean,
 	}
-	st.MeanTx /= float64(reps)
-	st.MeanTxPerNode = st.MeanTx / float64(g.NumNodes())
-	st.InformedFrac /= float64(reps)
-	st.CompletedFrac = float64(completed) / float64(reps)
-	if completed > 0 {
-		st.MeanRounds = roundsSum / float64(completed)
+}
+
+// measure runs proto on g for reps seed-derived replications through the
+// facade's batch engine, with a random source per replication and any
+// extra scenario options applied (fault models, stop-early accounting,
+// dial strategies). Options.Workers selects the per-run engine and
+// Options.ReplicationWorkers the pool width over whole runs; neither
+// changes the returned statistics.
+func measure(o Options, g *graph.Graph, proto regcast.Protocol, seed uint64, reps int, opts ...regcast.ScenarioOption) (runStats, error) {
+	scOpts := append([]regcast.ScenarioOption{regcast.WithSeed(seed)}, opts...)
+	sc, err := regcast.NewScenario(regcast.Static(g), proto, scOpts...)
+	if err != nil {
+		return runStats{}, err
 	}
-	return st, nil
+	res, err := regcast.Batch{
+		Scenario:           sc,
+		Replications:       reps,
+		ReplicationWorkers: o.ReplicationWorkers,
+		Runner:             o.runner(),
+		RandomizeSource:    true,
+	}.Run(context.Background())
+	if err != nil {
+		return runStats{}, err
+	}
+	return fromBatch(res), nil
 }
 
 // sizes returns the n-sweep for the profile.

@@ -3,47 +3,79 @@ package experiments
 import (
 	"testing"
 
+	"regcast"
 	"regcast/internal/baseline"
-	"regcast/internal/phonecall"
 	"regcast/internal/xrand"
 )
 
-// TestWorkersFieldPassthrough checks that Options.Workers reaches the
-// engine untranslated (phonecall.Config.Workers semantics): the old
-// Parallel/Workers mapping was deleted in favour of the facade's single
-// engine selection, so the value observed on each run's Config must be
-// exactly the one given in Options.
-func TestWorkersFieldPassthrough(t *testing.T) {
-	g, err := regular(128, 8, xrand.New(1))
+// TestMeasureDeterministicAcrossReplicationWorkers pins the harness's side
+// of the batch-layer contract: measure() routes every ensemble through
+// regcast.Batch, whose aggregates are bit-identical for every
+// ReplicationWorkers value — so the full runStats struct (floats included)
+// must compare equal across pool widths.
+func TestMeasureDeterministicAcrossReplicationWorkers(t *testing.T) {
+	g, err := regular(256, 8, xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	push, err := baseline.NewPush(128, 1)
+	push, err := baseline.NewPush(256, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, w := range []int{0, phonecall.WorkersAuto, 4} {
-		seen := []int(nil)
-		_, err := measure(Options{Workers: w}, g, push, 3, 2, func(c *phonecall.Config) {
-			seen = append(seen, c.Workers)
-		})
+	var base runStats
+	for i, rw := range []int{0, 1, 4, regcast.WorkersAuto} {
+		st, err := measure(Options{Workers: 0, ReplicationWorkers: rw}, g, push, 3, 6, regcast.WithStopEarly())
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(seen) != 2 {
-			t.Fatalf("measure ran %d configs, want 2", len(seen))
+		if st.Reps != 6 {
+			t.Fatalf("rep-workers %d: ran %d reps, want 6", rw, st.Reps)
 		}
-		for _, got := range seen {
-			if got != w {
-				t.Errorf("Options{Workers: %d} reached the engine as Config.Workers = %d", w, got)
-			}
+		if i == 0 {
+			base = st
+			continue
+		}
+		if st != base {
+			t.Errorf("rep-workers %d changed the statistics: %+v vs %+v", rw, st, base)
+		}
+	}
+}
+
+// TestMeasureEngineSelection checks that both per-run engines run to
+// completion under measure and stay deterministic across repeated calls:
+// Options.Workers selects the engine (0 sequential, >=1 sharded), and a
+// fixed seed must reproduce the exact statistics.
+func TestMeasureEngineSelection(t *testing.T) {
+	g, err := regular(256, 8, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, err := baseline.NewPush(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, regcast.WorkersAuto, 4} {
+		a, err := measure(Options{Workers: w}, g, push, 5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := measure(Options{Workers: w}, g, push, 5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("Workers=%d: identical measures differ: %+v vs %+v", w, a, b)
+		}
+		if a.CompletedFrac < 0 || a.CompletedFrac > 1 || a.InformedFrac <= 0 {
+			t.Errorf("Workers=%d: implausible stats %+v", w, a)
 		}
 	}
 }
 
 // TestParallelProfileDeterministicAndComplete reruns a representative
 // experiment in the parallel profile: results must be identical across
-// repeated runs (seeded) and across worker counts.
+// engine worker counts (the sharded engine's trace is a function of the
+// shard count, not the worker count).
 func TestParallelProfileDeterministicAndComplete(t *testing.T) {
 	e, ok := ByID("E1")
 	if !ok {
@@ -63,5 +95,32 @@ func TestParallelProfileDeterministicAndComplete(t *testing.T) {
 	one := run(1)
 	if eight := run(8); one != eight {
 		t.Errorf("E1 parallel profile differs between 1 and 8 workers:\n%s\nvs\n%s", one, eight)
+	}
+}
+
+// TestExperimentDeterministicAcrossReplicationWorkers reruns E1 with the
+// replication pool at different widths; every table must be byte-identical
+// (the acceptance contract of the batch migration).
+func TestExperimentDeterministicAcrossReplicationWorkers(t *testing.T) {
+	e, ok := ByID("E1")
+	if !ok {
+		t.Fatal("E1 not registered")
+	}
+	run := func(rw int) string {
+		tables, err := e.Run(Options{Seed: 11, Quick: true, ReplicationWorkers: rw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, tb := range tables {
+			out += tb.String()
+		}
+		return out
+	}
+	serial := run(0)
+	for _, rw := range []int{1, 4, regcast.WorkersAuto} {
+		if got := run(rw); got != serial {
+			t.Errorf("E1 tables differ between ReplicationWorkers=0 and %d:\n%s\nvs\n%s", rw, serial, got)
+		}
 	}
 }

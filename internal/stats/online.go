@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes mean, variance, min and max of a stream online
+// (Welford's algorithm), so replication ensembles never need to retain
+// their per-run samples. Accumulators merge exactly (Chan et al.'s
+// parallel formula), which lets per-shard or per-cell aggregates combine
+// into one. The zero value is an empty accumulator ready for use.
+//
+// Floating-point caveat: Add and Merge are deterministic functions of the
+// call order, so two accumulators fed the same values in the same order are
+// bit-identical — the property the batch engine's
+// aggregate-in-replication-order discipline relies on.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// Merge folds b into a, as if every observation of b had been Added to a
+// (up to floating-point association; the combined moments are exact in
+// exact arithmetic).
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	na, nb := float64(a.n), float64(b.n)
+	d := b.mean - a.mean
+	n := na + nb
+	a.mean += d * nb / n
+	a.m2 += b.m2 + d*d*na*nb/n
+	a.n += b.n
+}
+
+// N returns the number of observations recorded.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the arithmetic mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the sample variance (n-1 denominator; 0 for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (a *Accumulator) Stddev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest observation (0 for an empty accumulator).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 for an empty accumulator).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// StreamHist is a mergeable streaming quantile sketch: the fixed-size
+// centroid histogram of Ben-Haim & Tom-Tov ("A Streaming Parallel Decision
+// Tree Algorithm", JMLR 2010). It retains at most maxBins (value, count)
+// centroids, merging the closest adjacent pair when full, and estimates
+// quantiles by interpolating the cumulative counts between centroids.
+//
+// The sketch is exact while the number of distinct values is at most
+// maxBins, and deterministic: the state is a pure function of the sequence
+// of Add/Merge calls (no randomness, no map iteration), so identical feeds
+// produce bit-identical quantiles. It is not safe for concurrent use.
+type StreamHist struct {
+	maxBins int
+	bins    []histBin // sorted by value
+	count   int64
+}
+
+type histBin struct {
+	value float64
+	count float64
+}
+
+// NewStreamHist creates a sketch that retains at most maxBins centroids.
+// Larger values are more accurate and slower; 64 is a good default for
+// replication ensembles.
+func NewStreamHist(maxBins int) (*StreamHist, error) {
+	if maxBins < 2 {
+		return nil, fmt.Errorf("stats: NewStreamHist maxBins=%d, need >= 2", maxBins)
+	}
+	return &StreamHist{maxBins: maxBins}, nil
+}
+
+// Add records one observation.
+func (h *StreamHist) Add(x float64) {
+	h.insert(x, 1)
+	h.count++
+	h.compact()
+}
+
+// insert adds a centroid, keeping bins sorted and collapsing exact value
+// duplicates.
+func (h *StreamHist) insert(v, c float64) {
+	i := sort.Search(len(h.bins), func(i int) bool { return h.bins[i].value >= v })
+	if i < len(h.bins) && h.bins[i].value == v {
+		h.bins[i].count += c
+		return
+	}
+	h.bins = append(h.bins, histBin{})
+	copy(h.bins[i+1:], h.bins[i:])
+	h.bins[i] = histBin{value: v, count: c}
+}
+
+// compact merges closest adjacent centroids until at most maxBins remain.
+// Ties break toward the smallest index, keeping compaction deterministic.
+func (h *StreamHist) compact() {
+	for len(h.bins) > h.maxBins {
+		best, bestGap := 0, math.Inf(1)
+		for i := 0; i+1 < len(h.bins); i++ {
+			if gap := h.bins[i+1].value - h.bins[i].value; gap < bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		a, b := h.bins[best], h.bins[best+1]
+		c := a.count + b.count
+		h.bins[best] = histBin{value: (a.value*a.count + b.value*b.count) / c, count: c}
+		h.bins = append(h.bins[:best+1], h.bins[best+2:]...)
+	}
+}
+
+// Merge folds o into h. The result is the sketch of the concatenated
+// streams (approximately, once either side has compacted).
+func (h *StreamHist) Merge(o *StreamHist) {
+	if o == nil {
+		return
+	}
+	for _, b := range o.bins {
+		h.insert(b.value, b.count)
+	}
+	h.count += o.count
+	h.compact()
+}
+
+// N returns the number of observations recorded.
+func (h *StreamHist) N() int64 { return h.count }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the stream. Each
+// centroid is treated as its count of observations at its value, with
+// linear interpolation of the cumulative distribution between adjacent
+// centroids (half of each centroid's mass lies on either side of it, the
+// paper's "trapezoid" reading). Returns NaN for an empty sketch.
+func (h *StreamHist) Quantile(q float64) float64 {
+	if len(h.bins) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.bins[0].value
+	}
+	if q >= 1 {
+		return h.bins[len(h.bins)-1].value
+	}
+	target := q * float64(h.count)
+	// cum is the mass strictly before the current centroid's value, under
+	// the half-before/half-after reading.
+	cum := 0.0
+	for i, b := range h.bins {
+		center := cum + b.count/2
+		if target <= center {
+			if i == 0 {
+				return b.value
+			}
+			prev := h.bins[i-1]
+			prevCenter := cum - prev.count/2
+			frac := (target - prevCenter) / (center - prevCenter)
+			return prev.value + frac*(b.value-prev.value)
+		}
+		cum += b.count
+	}
+	return h.bins[len(h.bins)-1].value
+}

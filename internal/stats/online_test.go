@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3.5}
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	s := Summarize(xs)
+	if a.N() != s.N {
+		t.Fatalf("N = %d, want %d", a.N(), s.N)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"mean", a.Mean(), s.Mean},
+		{"stddev", a.Stddev(), s.Stddev},
+		{"min", a.Min(), s.Min},
+		{"max", a.Max(), s.Max},
+	} {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Error("zero accumulator not zero-valued")
+	}
+	a.Add(7)
+	if a.N() != 1 || a.Mean() != 7 || a.Variance() != 0 || a.Min() != 7 || a.Max() != 7 {
+		t.Errorf("single-observation accumulator wrong: %+v", a)
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	xs := []float64{-2, 0, 1, 3, 3, 8, 13, 21, -5, 0.5, 2.5}
+	for split := 0; split <= len(xs); split++ {
+		var a, b, whole Accumulator
+		for i, x := range xs {
+			if i < split {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+			whole.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("split %d: N = %d, want %d", split, a.N(), whole.N())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-12 ||
+			math.Abs(a.Variance()-whole.Variance()) > 1e-10 ||
+			a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Errorf("split %d: merged %+v, sequential %+v", split, a, whole)
+		}
+	}
+}
+
+func TestStreamHistExactBelowCapacity(t *testing.T) {
+	h, err := NewStreamHist(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1..9 inserted out of order: with all points retained, the median is
+	// exactly the middle value.
+	for _, x := range []float64{9, 1, 8, 2, 7, 3, 6, 4, 5} {
+		h.Add(x)
+	}
+	if h.N() != 9 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if got := h.Quantile(0.5); math.Abs(got-5) > 1e-12 {
+		t.Errorf("median = %v, want 5", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 9 {
+		t.Errorf("q1 = %v, want 9", got)
+	}
+}
+
+func TestStreamHistApproximatesQuantiles(t *testing.T) {
+	h, err := NewStreamHist(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deterministic non-uniform stream: x^2 over a scrambled order.
+	const n = 5000
+	for i := 0; i < n; i++ {
+		j := (i*2654435761 + 7) % n // fixed permutation-ish scatter
+		x := float64(j) / n
+		h.Add(x * x)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		want := q * q // quantiles of U^2 with U uniform on [0,1)
+		got := h.Quantile(q)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("q%.2f = %v, want ≈ %v", q, got, want)
+		}
+	}
+	// Monotone in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev-1e-12 {
+			t.Fatalf("quantiles not monotone at q=%v", q)
+		}
+		prev = v
+	}
+}
+
+func TestStreamHistMerge(t *testing.T) {
+	mk := func() *StreamHist {
+		h, err := NewStreamHist(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	a, b, whole := mk(), mk(), mk()
+	for i := 0; i < 1000; i++ {
+		x := float64(i%97) / 97
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		whole.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if got, want := a.Quantile(q), whole.Quantile(q); math.Abs(got-want) > 0.1 {
+			t.Errorf("merged q%.1f = %v vs sequential %v", q, got, want)
+		}
+	}
+	a.Merge(nil) // no-op
+}
+
+func TestStreamHistDeterministic(t *testing.T) {
+	run := func() []float64 {
+		h, err := NewStreamHist(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			h.Add(math.Sin(float64(i)))
+		}
+		out := []float64{}
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			out = append(out, h.Quantile(q))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("identical feeds diverge: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestStreamHistRejectsTinyCapacity(t *testing.T) {
+	if _, err := NewStreamHist(1); err == nil {
+		t.Error("maxBins=1 accepted")
+	}
+}
+
+func TestStreamHistEmpty(t *testing.T) {
+	h, err := NewStreamHist(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty sketch quantile not NaN")
+	}
+}

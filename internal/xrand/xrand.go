@@ -76,6 +76,20 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64())
 }
 
+// SplitN derives n independent child generators in one deterministic pass.
+// It is the seeding primitive of the batch replication engine: the children
+// are precomputed in index order from the parent's stream, so child i is
+// the same generator no matter how many workers later consume the slice —
+// which is what makes replication ensembles bit-identical across worker
+// counts.
+func (r *Rand) SplitN(n int) []*Rand {
+	out := make([]*Rand, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 // Int63 returns a non-negative random int64.
 func (r *Rand) Int63() int64 {
 	return int64(r.Uint64() >> 1)

@@ -41,6 +41,30 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestSplitNMatchesSequentialSplits(t *testing.T) {
+	a := New(11)
+	b := New(11)
+	got := a.SplitN(5)
+	for i := 0; i < 5; i++ {
+		want := b.Split()
+		for step := 0; step < 10; step++ {
+			if g, w := got[i].Uint64(), want.Uint64(); g != w {
+				t.Fatalf("SplitN child %d diverges from sequential Split at step %d: %d != %d", i, step, g, w)
+			}
+		}
+	}
+	// The parent streams must also agree afterwards.
+	if a.Uint64() != b.Uint64() {
+		t.Error("parent streams diverge after SplitN vs sequential splits")
+	}
+}
+
+func TestSplitNEmpty(t *testing.T) {
+	if out := New(1).SplitN(0); len(out) != 0 {
+		t.Fatalf("SplitN(0) returned %d children", len(out))
+	}
+}
+
 func TestIntNRange(t *testing.T) {
 	r := New(3)
 	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {

@@ -20,7 +20,9 @@ import (
 //
 //	go test -bench BenchmarkSharded -benchtime 3x .
 //
-// The n=1M benchmarks are skipped under -short (CI smoke runs).
+// All scale benchmarks skip themselves under -short: the CI benchmark
+// smoke must never build a 100k- or 1M-node graph (machine-readable CI
+// perf numbers come from cmd/regcast-bench's small grid instead).
 
 var (
 	benchGraphMu    sync.Mutex
@@ -44,11 +46,13 @@ func benchGraph(b *testing.B, n, d int) *graph.Graph {
 	return g
 }
 
-// benchSizes returns the node counts to sweep; the million-node case is
-// reserved for full (non -short) runs.
-func benchSizes() []int {
+// benchSizes returns the node counts to sweep, skipping the whole scale
+// suite under -short (CI smoke): even the smallest scale size is far too
+// heavy for a smoke run.
+func benchSizes(b *testing.B) []int {
+	b.Helper()
 	if testing.Short() {
-		return []int{100_000}
+		b.Skip("scale benchmarks skipped under -short (100k/1M-node sweeps)")
 	}
 	return []int{100_000, 1_000_000}
 }
@@ -58,7 +62,7 @@ func benchSizes() []int {
 // every round) and the one used for the EXPERIMENTS.md speedup table.
 func BenchmarkShardedPush(b *testing.B) {
 	const d = 16
-	for _, n := range benchSizes() {
+	for _, n := range benchSizes(b) {
 		g := benchGraph(b, n, d)
 		push, err := baseline.NewPush(n, 1)
 		if err != nil {
@@ -92,7 +96,7 @@ func BenchmarkShardedPush(b *testing.B) {
 // the parallel section's best case (every node dials four channels).
 func BenchmarkShardedFourChoice(b *testing.B) {
 	const d = 16
-	for _, n := range benchSizes() {
+	for _, n := range benchSizes(b) {
 		g := benchGraph(b, n, d)
 		proto, err := core.New(n, d)
 		if err != nil {
@@ -124,7 +128,7 @@ func BenchmarkShardedFourChoice(b *testing.B) {
 // the same sizes, for regression tracking against the sharded path.
 func BenchmarkLegacySequentialPush(b *testing.B) {
 	const d = 16
-	for _, n := range benchSizes() {
+	for _, n := range benchSizes(b) {
 		g := benchGraph(b, n, d)
 		push, err := baseline.NewPush(n, 1)
 		if err != nil {

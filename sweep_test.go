@@ -1,0 +1,172 @@
+package regcast_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"regcast"
+)
+
+// miniSweep is a 2×2 grid over n and a fault probability, small enough
+// for unit tests.
+func miniSweep(rw int, timing bool) regcast.Sweep {
+	return regcast.Sweep{
+		Name: "mini",
+		Seed: 5,
+		Axes: []regcast.Axis{
+			regcast.Vals("n", 128, 256),
+			regcast.Vals("loss", 0.0, 0.2),
+		},
+		Replications:       4,
+		ReplicationWorkers: rw,
+		Timing:             timing,
+		Build: func(p regcast.Point) (regcast.Batch, error) {
+			n := p.Value("n").(int)
+			loss := p.Value("loss").(float64)
+			rng := regcast.NewRand(p.Seed)
+			g, err := regcast.NewRegularGraph(n, 8, rng.Split())
+			if err != nil {
+				return regcast.Batch{}, err
+			}
+			proto, err := regcast.NewFourChoice(n, 8)
+			if err != nil {
+				return regcast.Batch{}, err
+			}
+			sc, err := regcast.NewScenario(regcast.Static(g), proto,
+				regcast.WithSeed(rng.Uint64()), regcast.WithMessageLoss(loss))
+			if err != nil {
+				return regcast.Batch{}, err
+			}
+			return regcast.Batch{Scenario: sc, RandomizeSource: true}, nil
+		},
+	}
+}
+
+func TestSweepPointsGridOrder(t *testing.T) {
+	s := miniSweep(0, false)
+	points := s.Points()
+	if len(points) != 4 {
+		t.Fatalf("grid has %d points, want 4", len(points))
+	}
+	wantLabels := []string{
+		"n=128/loss=0", "n=128/loss=0.2", "n=256/loss=0", "n=256/loss=0.2",
+	}
+	seeds := map[uint64]bool{}
+	for i, p := range points {
+		if p.Index != i {
+			t.Errorf("point %d has Index %d", i, p.Index)
+		}
+		if p.Label() != wantLabels[i] {
+			t.Errorf("point %d label %q, want %q (last axis varies fastest)", i, p.Label(), wantLabels[i])
+		}
+		if seeds[p.Seed] {
+			t.Errorf("point %d reuses seed %d", i, p.Seed)
+		}
+		seeds[p.Seed] = true
+		if got := p.Value("n").(int); got != []int{128, 128, 256, 256}[i] {
+			t.Errorf("point %d n = %d", i, got)
+		}
+	}
+	// Params mirror the labels.
+	if prm := points[1].Params(); len(prm) != 2 || prm[1] != (regcast.Param{Axis: "loss", Value: "0.2"}) {
+		t.Errorf("params %+v", points[1].Params())
+	}
+}
+
+// TestSweepReportDeterministicAcrossWorkers is the regcast-bench
+// acceptance contract at the library level: the serialised report bytes
+// (JSON and CSV, timing off) are identical for every ReplicationWorkers
+// value.
+func TestSweepReportDeterministicAcrossWorkers(t *testing.T) {
+	render := func(rw int) (string, string) {
+		rep, err := miniSweep(rw, false).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := rep.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j0, c0 := render(0)
+	for _, rw := range []int{1, 4} {
+		j, c := render(rw)
+		if j != j0 {
+			t.Errorf("JSON report differs at ReplicationWorkers=%d:\n%s\nvs\n%s", rw, j, j0)
+		}
+		if c != c0 {
+			t.Errorf("CSV report differs at ReplicationWorkers=%d:\n%s\nvs\n%s", rw, c, c0)
+		}
+	}
+	if !strings.Contains(j0, `"schema": "`+regcast.ReportSchema+`"`) {
+		t.Errorf("JSON lacks the schema stamp:\n%s", j0)
+	}
+	// Timing off: no wall-clock fields may appear.
+	if strings.Contains(j0, `"wall_clock_ms"`) {
+		t.Errorf("deterministic report carries wall_clock_ms:\n%s", j0)
+	}
+	if !strings.HasPrefix(c0, "index,label,replications,") {
+		t.Errorf("CSV header malformed:\n%s", c0)
+	}
+	if got := strings.Count(c0, "\n"); got != 5 { // header + 4 cells
+		t.Errorf("CSV has %d lines, want 5:\n%s", got, c0)
+	}
+}
+
+func TestSweepTiming(t *testing.T) {
+	rep, err := miniSweep(0, true).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j bytes.Buffer
+	if err := rep.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(j.String(), `"wall_clock_ms"`) {
+		t.Errorf("timing report lacks wall_clock_ms:\n%s", j.String())
+	}
+}
+
+func TestSweepCellContents(t *testing.T) {
+	rep, err := miniSweep(0, false).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "mini" || rep.Seed != 5 || rep.Schema != regcast.ReportSchema {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	for _, cell := range rep.Cells {
+		if cell.Replications != 4 {
+			t.Errorf("cell %s replications %d, want 4 (sweep default)", cell.Label, cell.Replications)
+		}
+		if cell.InformedFrac.Mean <= 0 {
+			t.Errorf("cell %s informs nobody", cell.Label)
+		}
+	}
+	// Loss-free cells must complete; the four-choice schedule has slack
+	// for loss 0.2 too but we only assert the clean cells.
+	for _, i := range []int{0, 2} {
+		if rep.Cells[i].CompletedFrac != 1 {
+			t.Errorf("loss-free cell %s incomplete: %+v", rep.Cells[i].Label, rep.Cells[i].CompletedFrac)
+		}
+	}
+}
+
+func TestSweepBuildErrors(t *testing.T) {
+	s := miniSweep(0, false)
+	s.Build = nil
+	if _, err := s.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "Build") {
+		t.Errorf("nil Build error: %v", err)
+	}
+	s = miniSweep(0, false)
+	s.Axes = []regcast.Axis{{Name: "empty"}}
+	if _, err := s.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "empty axis") {
+		t.Errorf("empty axis error: %v", err)
+	}
+}
