@@ -10,6 +10,14 @@
 //	regcast-bench -grid faults -format csv          # flat CSV for plotting
 //	regcast-bench -grid protocols -rep-workers -1   # replications on a GOMAXPROCS pool
 //	regcast-bench -grid degrees -timing             # include per-cell wall-clock
+//	regcast-bench -grid ci -timing -o BENCH_ci.json -baseline BENCH_seed.json
+//	                                                # ...and diff against a checked-in report
+//
+// With -baseline, the fresh report is compared cell-by-cell against the
+// given JSON report and a markdown delta table is emitted (to stdout when
+// -o diverts the report to a file, else to stderr) — the CI job appends
+// it to the run summary. Only a schema mismatch is fatal; wall-clock
+// drift is reported, never failed on, because it is machine noise.
 //
 // Determinism: for a fixed -seed, grid and flag set (without -timing),
 // the output bytes are identical across runs and across every
@@ -168,10 +176,11 @@ func run() error {
 		reps     = flag.Int("reps", 0, "replications per cell (0 = the grid's default)")
 		repWork  = flag.Int("rep-workers", 0,
 			"replication-pool workers over whole runs: 0/1 = serial, -1 = GOMAXPROCS, n = n workers (never changes results)")
-		format = flag.String("format", "json", "output format: json|csv")
-		out    = flag.String("o", "", "output file (default stdout)")
-		timing = flag.Bool("timing", false, "record per-cell wall-clock (machine-dependent; breaks byte-determinism)")
-		common = regcast.AddCommonFlags(flag.CommandLine)
+		format   = flag.String("format", "json", "output format: json|csv")
+		out      = flag.String("o", "", "output file (default stdout)")
+		timing   = flag.Bool("timing", false, "record per-cell wall-clock (machine-dependent; breaks byte-determinism)")
+		baseline = flag.String("baseline", "", "baseline report (JSON) to diff the fresh report against; fails only on schema mismatch")
+		common   = regcast.AddCommonFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
@@ -215,10 +224,81 @@ func run() error {
 	}
 	switch *format {
 	case "json":
-		return report.WriteJSON(w)
+		err = report.WriteJSON(w)
 	case "csv":
-		return report.WriteCSV(w)
+		err = report.WriteCSV(w)
 	default:
-		return fmt.Errorf("unknown format %q (json|csv)", *format)
+		err = fmt.Errorf("unknown format %q (json|csv)", *format)
 	}
+	if err != nil {
+		return err
+	}
+	if *baseline != "" {
+		return diffBaseline(report, *baseline, *out != "")
+	}
+	return nil
+}
+
+// diffBaseline compares the fresh report against a checked-in baseline
+// and emits a markdown delta table. Wall-clock drift is informational;
+// only an unreadable or schema-incompatible baseline is an error.
+func diffBaseline(cur *regcast.Report, path string, stdoutFree bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	defer f.Close()
+	base, err := regcast.ReadReport(f)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	w := io.Writer(os.Stderr)
+	if stdoutFree {
+		w = os.Stdout
+	}
+	writeComparison(w, base, cur, path)
+	return nil
+}
+
+// fmtClock renders a cell's wall-clock (absent in deterministic reports).
+func fmtClock(ms float64) string {
+	if ms <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", ms)
+}
+
+// writeComparison renders the per-cell delta table (markdown, suitable
+// for a CI job summary). Cells are matched by label; added and dropped
+// cells are listed, not failed on.
+func writeComparison(w io.Writer, base, cur *regcast.Report, basePath string) {
+	fmt.Fprintf(w, "### regcast-bench grid %q vs baseline %s\n\n", cur.Name, basePath)
+	fmt.Fprintln(w, "| cell | rounds mean (base → now) | tx/node mean (base → now) | wall-clock ms (base → now) | Δ wall-clock |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	baseByLabel := make(map[string]regcast.CellReport, len(base.Cells))
+	for _, c := range base.Cells {
+		baseByLabel[c.Label] = c
+	}
+	seen := make(map[string]bool, len(cur.Cells))
+	for _, c := range cur.Cells {
+		b, ok := baseByLabel[c.Label]
+		if !ok {
+			fmt.Fprintf(w, "| %s | (new cell) | %.2f | %s | - |\n", c.Label, c.TxPerNode.Mean, fmtClock(c.WallClockMS))
+			continue
+		}
+		seen[c.Label] = true
+		delta := "-"
+		if b.WallClockMS > 0 && c.WallClockMS > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(c.WallClockMS-b.WallClockMS)/b.WallClockMS)
+		}
+		fmt.Fprintf(w, "| %s | %.2f → %.2f | %.2f → %.2f | %s → %s | %s |\n",
+			c.Label, b.Rounds.Mean, c.Rounds.Mean, b.TxPerNode.Mean, c.TxPerNode.Mean,
+			fmtClock(b.WallClockMS), fmtClock(c.WallClockMS), delta)
+	}
+	for _, b := range base.Cells {
+		if !seen[b.Label] {
+			fmt.Fprintf(w, "| %s | (dropped from grid) | - | - | - |\n", b.Label)
+		}
+	}
+	fmt.Fprintln(w)
 }

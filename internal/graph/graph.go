@@ -126,6 +126,14 @@ func (g *Graph) Neighbors(v int) []int32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
+// CSR exposes the graph's raw compressed-sparse-row arrays: the adjacency
+// of v is adj[offsets[v]:offsets[v+1]]. This is the zero-interface view
+// hot loops (the phone-call fast path) index directly instead of going
+// through Degree/Neighbor calls. The caller must not modify either slice.
+func (g *Graph) CSR() (offsets, adj []int32) {
+	return g.offsets, g.adj
+}
+
 // MinDegree returns the smallest degree, or 0 for an empty graph.
 func (g *Graph) MinDegree() int {
 	n := g.NumNodes()

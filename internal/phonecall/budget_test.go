@@ -1,0 +1,143 @@
+package phonecall_test
+
+import (
+	"testing"
+
+	"regcast/internal/baseline"
+	"regcast/internal/graph"
+	"regcast/internal/p2p/overlay"
+	"regcast/internal/phonecall"
+	"regcast/internal/xrand"
+)
+
+// The dial-budget cache (refreshBudget) replaces the per-round O(n)
+// DialBudget scan for dynamic topologies. These tests pin it two ways:
+// on the real E13b churn overlay every per-round ChannelsDial must equal
+// what a fresh scan of the stepped topology would charge, and on a
+// membership-stable stepper the engine must not consult Degree at all
+// after construction.
+
+// churningTopo drives an overlay with its churner (the E13b combination)
+// and records, after every step, the alive count the next round's budget
+// must reflect.
+type churningTopo struct {
+	*overlay.Overlay
+	ch         *overlay.Churner
+	aliveAfter []int
+}
+
+var _ phonecall.Stepper = (*churningTopo)(nil)
+var _ phonecall.AliveCounter = (*churningTopo)(nil)
+
+func (c *churningTopo) Step(round int) []int {
+	joined := c.ch.Step(round)
+	c.aliveAfter = append(c.aliveAfter, c.Overlay.AliveCount())
+	return joined
+}
+
+// TestChurnBudgetMatchesTopologyE13b runs the E13b churn overlay under
+// real join/leave/mix churn and checks every round's ChannelsDial against
+// the overlay's ground truth: alive × min(k, d) (the maintained overlay
+// keeps every alive peer at exactly degree d between rounds). A stale
+// budget cache — recomputed never, or on the wrong rounds — cannot pass,
+// and neither could a cache that misses leave-only or join+leave steps.
+func TestChurnBudgetMatchesTopologyE13b(t *testing.T) {
+	const (
+		n = 256
+		d = 8
+		k = 2
+	)
+	for _, workers := range []int{0, 2} {
+		master := xrand.New(42)
+		ov, err := overlay.New(n, d, n, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := overlay.NewChurner(ov, 0.02, 0.02, 5, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo := &churningTopo{Overlay: ov, ch: ch}
+		push, err := baseline.NewPush(n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initialAlive := ov.AliveCount()
+		res, err := phonecall.Run(phonecall.Config{
+			Topology:     topo,
+			Protocol:     push,
+			RNG:          master.Split(),
+			RecordRounds: true,
+			Workers:      workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.Joins == 0 || ch.Leaves == 0 {
+			t.Fatalf("churn did not exercise joins (%d) and leaves (%d)", ch.Joins, ch.Leaves)
+		}
+		for i, rm := range res.PerRound {
+			aliveBefore := initialAlive
+			if i > 0 {
+				aliveBefore = topo.aliveAfter[i-1]
+			}
+			want := int64(aliveBefore) * int64(k)
+			if rm.ChannelsDial != want {
+				t.Fatalf("workers=%d round %d: ChannelsDial = %d, want alive(%d) × k(%d) = %d",
+					workers, rm.Round, rm.ChannelsDial, aliveBefore, k, want)
+			}
+		}
+	}
+}
+
+// meteredStatic is a static graph with a no-op Stepper: membership never
+// changes, and every Degree call is counted.
+type meteredStatic struct {
+	g           *graph.Graph
+	degreeCalls int
+}
+
+func (m *meteredStatic) NumNodes() int { return m.g.NumNodes() }
+func (m *meteredStatic) Degree(v int) int {
+	m.degreeCalls++
+	return m.g.Degree(v)
+}
+func (m *meteredStatic) Neighbor(v, i int) int { return m.g.Neighbor(v, i) }
+func (m *meteredStatic) Alive(v int) bool      { return true }
+func (m *meteredStatic) Step(round int) []int  { return nil }
+
+// silentK1 opens channels but never transmits, so the only possible
+// Degree consumer after construction is a dial-budget recomputation.
+type silentK1 struct{ horizon int }
+
+func (p silentK1) Name() string            { return "test-silent" }
+func (p silentK1) Choices() int            { return 1 }
+func (p silentK1) Horizon() int            { return p.horizon }
+func (p silentK1) SendPush(t, ia int) bool { return false }
+func (p silentK1) SendPull(t, ia int) bool { return false }
+
+// TestBudgetNotRecomputedWithoutMembershipChange is the sharp form of the
+// fix: a dynamic topology whose steps never change membership must not be
+// Degree-scanned again after NewEngine — before the cache, DialBudget ran
+// its O(n) scan every round.
+func TestBudgetNotRecomputedWithoutMembershipChange(t *testing.T) {
+	g := mustRegular(t, 128, 6, 7)
+	topo := &meteredStatic{g: g}
+	res, err := phonecall.Run(phonecall.Config{
+		Topology:     topo,
+		Protocol:     silentK1{horizon: 50},
+		RNG:          xrand.New(3),
+		RecordRounds: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := 128 // one DialBudget scan in NewEngine
+	if topo.degreeCalls != setup {
+		t.Errorf("membership-stable stepper run made %d Degree calls, want %d (setup scan only)",
+			topo.degreeCalls, setup)
+	}
+	if res.ChannelsDialed != int64(50*128) {
+		t.Errorf("ChannelsDialed = %d, want %d", res.ChannelsDialed, 50*128)
+	}
+}

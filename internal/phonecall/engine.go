@@ -50,6 +50,23 @@ type Config struct {
 	// MessageLossProb is the probability that an individual transmission is
 	// lost in transit. Lost transmissions still count as transmissions.
 	MessageLossProb float64
+	// GeometricFaults selects the randomness-efficient fault sampler: the
+	// per-decision Bernoulli draws for ChannelFailureProb and
+	// MessageLossProb are replaced by Geometric(p) skip counters per PRNG
+	// stream (one draw per fault event instead of one per decision). The
+	// fault processes are distribution-identical, but the stream is
+	// consumed in a different order, so traces differ bit-wise from the
+	// default Bernoulli mode — which is why this is an explicit opt-in
+	// compatibility switch rather than the default. Within geometric mode
+	// all determinism contracts hold unchanged (same seed => same trace,
+	// worker-count independence, fast path bit-identical to the reference
+	// path).
+	GeometricFaults bool
+	// DisableFastPath forces the reference interface-dispatch path even on
+	// a frozen Static topology. The fast path is bit-identical to the
+	// reference path (golden tests pin this), so the switch exists for
+	// verification and benchmarking, not for correctness workarounds.
+	DisableFastPath bool
 	// DialStrategy selects the neighbour-selection discipline (default
 	// DialUniform). DialQuasirandom is incompatible with AvoidRecent.
 	DialStrategy DialStrategy
@@ -148,12 +165,23 @@ type Engine struct {
 	dialTargets []int32   // flat n×k; Uninformed (-1) marks "no channel"
 	seq         dialState // RNG + scratch of the sequential path
 
+	// CSR fast path (see fastpath.go): when the topology is a frozen
+	// Static graph, the round loops index these raw arrays instead of
+	// calling Topology.Degree/Neighbor/Alive through the interface.
+	fast   bool
+	csrOff []int32
+	csrAdj []int32
+
 	// sharded-engine state (Config.Workers != 0); see parallel.go
 	workers    int
 	shards     []parShard
 	roundCount []int64 // nodes currently informed at round r, by r
-	pushDec    []bool  // per-round SendPush decision table, by informedAt
-	pullDec    []bool  // per-round SendPull decision table, by informedAt
+
+	// Per-round protocol decision tables, indexed by receipt round: both
+	// engine paths fill them once per round, so SendPush/SendPull is
+	// called O(rounds · cohorts) times instead of inside node loops.
+	pushDec []bool
+	pullDec []bool
 
 	// memory for the sequentialised model (AvoidRecent > 0)
 	recent    []int32 // flat n×AvoidRecent ring of recent partners
@@ -163,15 +191,31 @@ type Engine struct {
 	// quasirandom strategy (-1 until the first dial draws the start).
 	listCursor []int32
 
-	// staticBudget caches the per-round dial budget for frozen topologies
-	// (-1 when the topology can change between rounds).
-	staticBudget int64
+	// budget caches the per-round dial budget. For frozen topologies it is
+	// computed once; for dynamic ones it is recomputed only after a Step
+	// that changed membership (joins reported, or the alive count moved —
+	// budgetAlive remembers the count the cache was computed for).
+	budget      int64
+	budgetAlive int
+
+	// aliveCounter, when the topology supports it, answers aliveCount in
+	// O(1) instead of an O(n) Alive scan.
+	aliveCounter AliveCounter
 
 	// Edge-use census (Config.TrackEdgeUse): usedEdges records undirected
 	// edges that carried a transmission; unusedDeg[v] counts v's incident
-	// edges not yet used.
+	// edges not yet used. The fast path replaces the map with a bitset
+	// over dense edge ids (usedBits); slotEdge maps every CSR adjacency
+	// slot to its edge id (parallel edges share one id, matching the
+	// map's endpoint-keyed semantics), edgeEndA/B recover the endpoints,
+	// and dialEdge mirrors dialTargets with the dialled edge ids.
 	usedEdges map[int64]struct{}
 	unusedDeg []int32
+	slotEdge  []int32
+	edgeEndA  []int32
+	edgeEndB  []int32
+	usedBits  []uint64
+	dialEdge  []int32
 }
 
 // NewEngine validates cfg and prepares a run.
@@ -226,6 +270,14 @@ func NewEngine(cfg Config) (*Engine, error) {
 		n:     n,
 		k:     cfg.Protocol.Choices(),
 	}
+	// The zero-interface fast path engages on a frozen Static graph: its
+	// CSR arrays are extracted once, and every per-node Degree/Neighbor/
+	// Alive interface call in the round loops disappears (fastpath.go).
+	if st, ok := cfg.Topology.(Static); ok && !cfg.DisableFastPath {
+		e.fast = true
+		e.csrOff, e.csrAdj = st.G.CSR()
+	}
+	e.aliveCounter, _ = cfg.Topology.(AliveCounter)
 	e.informedAt = make([]int32, n)
 	for i := range e.informedAt {
 		e.informedAt[i] = Uninformed
@@ -233,7 +285,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.groups = make([][]int32, cfg.Protocol.Horizon()+1)
 	e.isPending = make([]bool, n)
 	e.dialTargets = make([]int32, n*e.k)
-	e.seq = dialState{rng: cfg.RNG, dialIdx: make([]int, 0, e.k)}
+	e.seq = newDialState(cfg.RNG, e.k)
+	// Preallocate the receipt queue so the round loops never grow it, and
+	// the per-round protocol decision tables shared by both engine paths.
+	e.pending = make([]int32, 0, n)
+	e.pushDec = make([]bool, cfg.Protocol.Horizon()+1)
+	e.pullDec = make([]bool, cfg.Protocol.Horizon()+1)
 	if cfg.AvoidRecent > 0 {
 		e.recent = make([]int32, n*cfg.AvoidRecent)
 		for i := range e.recent {
@@ -254,16 +311,18 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if _, dynamic := cfg.Topology.(Stepper); dynamic {
 			return nil, fmt.Errorf("phonecall: TrackEdgeUse requires a static topology")
 		}
-		e.usedEdges = make(map[int64]struct{})
 		e.unusedDeg = make([]int32, n)
 		for v := 0; v < n; v++ {
 			e.unusedDeg[v] = int32(cfg.Topology.Degree(v))
 		}
+		if e.fast {
+			e.initEdgeCensus()
+		} else {
+			e.usedEdges = make(map[int64]struct{})
+		}
 	}
-	e.staticBudget = -1
-	if _, dynamic := cfg.Topology.(Stepper); !dynamic {
-		e.staticBudget = DialBudget(cfg.Topology, e.k)
-	}
+	e.budget = DialBudget(cfg.Topology, e.k)
+	e.budgetAlive = e.aliveCount()
 	if cfg.Workers != 0 {
 		e.initShards()
 	}
@@ -292,20 +351,16 @@ func (e *Engine) Run() Result {
 	stepper, _ := e.topo.(Stepper)
 
 	for t := 1; t <= horizon; t++ {
-		// Which receipt-round groups push or pull this round?
+		// Fill the round's decision tables; a node's behaviour is a pure
+		// function of its receipt round, so one lookup per cohort (push)
+		// or per callee (pull) replaces Protocol calls in the node loops.
 		anyPull, anyPush := false, false
-		for ia := 0; ia < t && ia < len(e.groups); ia++ {
-			if len(e.groups[ia]) == 0 {
-				continue
-			}
-			if e.proto.SendPush(t, ia) {
-				anyPush = true
-			}
-			if !neverPulls && e.proto.SendPull(t, ia) {
-				anyPull = true
-			}
-			if anyPush && anyPull {
-				break
+		for ia := 0; ia < t; ia++ {
+			e.pushDec[ia] = e.proto.SendPush(t, ia)
+			e.pullDec[ia] = !neverPulls && e.proto.SendPull(t, ia)
+			if ia < len(e.groups) && len(e.groups[ia]) > 0 {
+				anyPush = anyPush || e.pushDec[ia]
+				anyPull = anyPull || e.pullDec[ia]
 			}
 		}
 
@@ -318,29 +373,13 @@ func (e *Engine) Run() Result {
 		// Push deliveries: senders transmit over their dialled channels.
 		if anyPush {
 			for ia := 0; ia < t && ia < len(e.groups); ia++ {
-				if len(e.groups[ia]) == 0 || !e.proto.SendPush(t, ia) {
+				if len(e.groups[ia]) == 0 || !e.pushDec[ia] {
 					continue
 				}
-				for _, v := range e.groups[ia] {
-					if e.informedAt[v] != int32(ia) || !e.topo.Alive(int(v)) {
-						continue // stale entry (node churned out / reset)
-					}
-					if !dialAll {
-						e.sampleDialsFor(int(v), &e.seq)
-					}
-					base := int(v) * e.k
-					for j := 0; j < e.k; j++ {
-						w := e.dialTargets[base+j]
-						if w < 0 {
-							continue
-						}
-						roundTx++
-						e.markUsed(int(v), int(w))
-						if e.cfg.MessageLossProb > 0 && e.seq.rng.Bool(e.cfg.MessageLossProb) {
-							continue
-						}
-						e.deliver(w, t)
-					}
+				if e.fast {
+					roundTx += e.pushGroupFast(e.groups[ia], ia, dialAll)
+				} else {
+					roundTx += e.pushGroup(e.groups[ia], ia, dialAll)
 				}
 			}
 		}
@@ -348,30 +387,10 @@ func (e *Engine) Run() Result {
 		// Pull deliveries: every established channel v→w lets an informed,
 		// pulling w answer the caller v.
 		if anyPull {
-			for v := 0; v < e.n; v++ {
-				if !e.topo.Alive(v) {
-					continue
-				}
-				base := v * e.k
-				for j := 0; j < e.k; j++ {
-					w := e.dialTargets[base+j]
-					if w < 0 {
-						continue
-					}
-					ia := e.informedAt[w]
-					if ia == Uninformed || int(ia) >= t {
-						continue // callee uninformed (this round's receipts excluded)
-					}
-					if !e.proto.SendPull(t, int(ia)) {
-						continue
-					}
-					roundTx++
-					e.markUsed(v, int(w))
-					if e.cfg.MessageLossProb > 0 && e.seq.rng.Bool(e.cfg.MessageLossProb) {
-						continue
-					}
-					e.deliver(int32(v), t)
-				}
+			if e.fast {
+				roundTx += e.pullScanFast(t)
+			} else {
+				roundTx += e.pullScan(t)
 			}
 		}
 
@@ -400,6 +419,7 @@ func (e *Engine) Run() Result {
 				e.informedAt[v] = Uninformed
 			}
 			informedCount = e.recount()
+			e.refreshBudget(joined)
 		}
 
 		if e.noteCompletion(&res, t, informedCount, stepper != nil) {
@@ -412,6 +432,70 @@ func (e *Engine) Run() Result {
 
 	e.finishResult(&res)
 	return res
+}
+
+// pushGroup sends from every member of one receipt cohort over its
+// dialled channels (the reference interface path; fastpath.go holds the
+// CSR twin). It returns the transmissions charged.
+func (e *Engine) pushGroup(group []int32, ia int, dialAll bool) int64 {
+	var tx int64
+	loss := e.cfg.MessageLossProb
+	for _, v := range group {
+		if e.informedAt[v] != int32(ia) || !e.topo.Alive(int(v)) {
+			continue // stale entry (node churned out / reset)
+		}
+		if !dialAll {
+			e.sampleDialsFor(int(v), &e.seq)
+		}
+		base := int(v) * e.k
+		for j := 0; j < e.k; j++ {
+			w := e.dialTargets[base+j]
+			if w < 0 {
+				continue
+			}
+			tx++
+			e.markUsed(int(v), int(w))
+			if loss > 0 && e.msgLost(&e.seq) {
+				continue
+			}
+			e.deliver(w)
+		}
+	}
+	return tx
+}
+
+// pullScan walks every established channel v→w and lets an informed,
+// pulling callee w answer the caller v (reference interface path). It
+// returns the transmissions charged.
+func (e *Engine) pullScan(t int) int64 {
+	var tx int64
+	loss := e.cfg.MessageLossProb
+	for v := 0; v < e.n; v++ {
+		if !e.topo.Alive(v) {
+			continue
+		}
+		base := v * e.k
+		for j := 0; j < e.k; j++ {
+			w := e.dialTargets[base+j]
+			if w < 0 {
+				continue
+			}
+			ia := e.informedAt[w]
+			if ia == Uninformed || int(ia) >= t {
+				continue // callee uninformed (this round's receipts excluded)
+			}
+			if !e.pullDec[ia] {
+				continue
+			}
+			tx++
+			e.markUsed(v, int(w))
+			if loss > 0 && e.msgLost(&e.seq) {
+				continue
+			}
+			e.deliver(int32(v))
+		}
+	}
+	return tx
 }
 
 // recordRound charges the round's totals to res and, when RecordRounds or
@@ -467,9 +551,17 @@ func (e *Engine) noteCompletion(res *Result, t, informedCount int, churning bool
 func (e *Engine) finishResult(res *Result) {
 	res.AliveNodes = e.aliveCount()
 	res.Informed = 0
-	for v := 0; v < e.n; v++ {
-		if e.topo.Alive(v) && e.informedAt[v] != Uninformed {
-			res.Informed++
+	if e.fast {
+		for v := 0; v < e.n; v++ {
+			if e.informedAt[v] != Uninformed {
+				res.Informed++
+			}
+		}
+	} else {
+		for v := 0; v < e.n; v++ {
+			if e.topo.Alive(v) && e.informedAt[v] != Uninformed {
+				res.Informed++
+			}
 		}
 	}
 	res.AllInformed = res.Informed == res.AliveNodes && res.AliveNodes > 0
@@ -505,9 +597,9 @@ func (e *Engine) markUsedKey(key int64) {
 	e.unusedDeg[int(key&0xffffffff)]--
 }
 
-// deliver marks w as newly informed in round t unless already informed or
+// deliver marks w as newly informed this round unless already informed or
 // dead. Receipts only take effect at the end of the round.
-func (e *Engine) deliver(w int32, t int) {
+func (e *Engine) deliver(w int32) {
 	if !e.topo.Alive(int(w)) {
 		return
 	}
@@ -518,14 +610,61 @@ func (e *Engine) deliver(w int32, t int) {
 	e.pending = append(e.pending, w)
 }
 
-// dialState bundles a PRNG stream with its reusable sampling scratch.
-// The sequential path owns one; every shard of the parallel engine owns
-// its own, which is what makes the per-shard passes race-free and
-// deterministic regardless of worker count.
+// dialState bundles a PRNG stream with its reusable sampling scratch and
+// the geometric fault-skip counters. The sequential path owns one; every
+// shard of the parallel engine owns its own, which is what makes the
+// per-shard passes race-free and deterministic regardless of worker count.
 type dialState struct {
 	rng     *xrand.Rand
 	dialIdx []int
 	scratch []int
+
+	// chanGap/lossGap are the Config.GeometricFaults skip counters: the
+	// number of fault-free decisions left before the next channel failure
+	// / message loss on this stream (-1 = not drawn yet; counters are
+	// drawn lazily so a stream that never reaches a decision point never
+	// consumes randomness for it).
+	chanGap int
+	lossGap int
+}
+
+// newDialState builds a dialState for one PRNG stream.
+func newDialState(rng *xrand.Rand, k int) dialState {
+	return dialState{rng: rng, dialIdx: make([]int, 0, k), chanGap: -1, lossGap: -1}
+}
+
+// chanFails decides whether the next dialled channel fails to establish.
+// Callers must guard with ChannelFailureProb > 0.
+func (e *Engine) chanFails(ds *dialState) bool {
+	if !e.cfg.GeometricFaults {
+		return ds.rng.Bool(e.cfg.ChannelFailureProb)
+	}
+	if ds.chanGap < 0 {
+		ds.chanGap = ds.rng.Geometric(e.cfg.ChannelFailureProb)
+	}
+	if ds.chanGap == 0 {
+		ds.chanGap = -1
+		return true
+	}
+	ds.chanGap--
+	return false
+}
+
+// msgLost decides whether the next transmission is lost in transit.
+// Callers must guard with MessageLossProb > 0.
+func (e *Engine) msgLost(ds *dialState) bool {
+	if !e.cfg.GeometricFaults {
+		return ds.rng.Bool(e.cfg.MessageLossProb)
+	}
+	if ds.lossGap < 0 {
+		ds.lossGap = ds.rng.Geometric(e.cfg.MessageLossProb)
+	}
+	if ds.lossGap == 0 {
+		ds.lossGap = -1
+		return true
+	}
+	ds.lossGap--
+	return false
 }
 
 // scratchFor returns a scratch slice with capacity >= n for DistinctK.
@@ -538,6 +677,12 @@ func (ds *dialState) scratchFor(n int) []int {
 
 // sampleAllDials samples the dial targets of every alive node.
 func (e *Engine) sampleAllDials() {
+	if e.fast {
+		for v := 0; v < e.n; v++ {
+			e.sampleDialsFast(v, &e.seq)
+		}
+		return
+	}
 	for v := 0; v < e.n; v++ {
 		if e.topo.Alive(v) {
 			e.sampleDialsFor(v, &e.seq)
@@ -554,6 +699,7 @@ func (e *Engine) sampleAllDials() {
 // neighbours, with dead targets and failed channels recorded as -1. All
 // randomness is drawn from ds, which must own node v (the engine-level
 // state for the sequential path, the owning shard's for the parallel one).
+// This is the reference interface path; sampleDialsFast is its CSR twin.
 func (e *Engine) sampleDialsFor(v int, ds *dialState) {
 	base := v * e.k
 	for j := 0; j < e.k; j++ {
@@ -581,7 +727,7 @@ func (e *Engine) sampleDialsFor(v int, ds *dialState) {
 		if !e.topo.Alive(w) {
 			continue
 		}
-		if e.cfg.ChannelFailureProb > 0 && ds.rng.Bool(e.cfg.ChannelFailureProb) {
+		if e.cfg.ChannelFailureProb > 0 && e.chanFails(ds) {
 			continue
 		}
 		e.dialTargets[base+j] = int32(w)
@@ -606,7 +752,7 @@ func (e *Engine) sampleQuasirandom(v, deg int, ds *dialState) {
 		if !e.topo.Alive(w) {
 			continue
 		}
-		if e.cfg.ChannelFailureProb > 0 && ds.rng.Bool(e.cfg.ChannelFailureProb) {
+		if e.cfg.ChannelFailureProb > 0 && e.chanFails(ds) {
 			continue
 		}
 		e.dialTargets[base+j] = int32(w)
@@ -646,25 +792,47 @@ func (e *Engine) sampleWithMemory(v, deg int, ds *dialState) {
 	if !e.topo.Alive(choice) {
 		return
 	}
-	if e.cfg.ChannelFailureProb > 0 && ds.rng.Bool(e.cfg.ChannelFailureProb) {
+	if e.cfg.ChannelFailureProb > 0 && e.chanFails(ds) {
 		return
 	}
 	e.dialTargets[v*e.k] = int32(choice)
 }
 
-// dialBudget returns the number of dials the model mandates per round
-// (DialBudget, cached for frozen topologies).
+// dialBudget returns the number of dials the model mandates per round.
+// The value is cached: frozen topologies compute it once in NewEngine,
+// dynamic ones refresh it after membership changes (refreshBudget), so
+// the O(n) DialBudget scan no longer runs every round.
 func (e *Engine) dialBudget() int64 {
-	if e.staticBudget >= 0 {
-		return e.staticBudget
+	return e.budget
+}
+
+// refreshBudget recomputes the cached dial budget after a topology Step,
+// but only when membership actually changed: joins were reported or the
+// alive count moved. Steps that merely rewire edges degree-preservingly
+// (the overlay's Mix) leave the budget untouched. A Stepper that changes
+// degrees without any membership change would need to pair the change
+// with a join/leave to be budgeted — no topology in this repository does
+// that, and the per-round budget test on the churn overlay pins the
+// cached values against fresh DialBudget scans.
+func (e *Engine) refreshBudget(joined []int) {
+	alive := e.aliveCount()
+	if len(joined) == 0 && alive == e.budgetAlive {
+		return
 	}
-	return DialBudget(e.topo, e.k)
+	e.budgetAlive = alive
+	e.budget = DialBudget(e.topo, e.k)
 }
 
 // aliveCount returns the number of alive nodes.
 func (e *Engine) aliveCount() int {
+	if e.fast {
+		return e.n
+	}
 	if _, ok := e.topo.(Static); ok {
 		return e.n
+	}
+	if e.aliveCounter != nil {
+		return e.aliveCounter.AliveCount()
 	}
 	c := 0
 	for v := 0; v < e.n; v++ {

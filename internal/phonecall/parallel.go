@@ -64,14 +64,9 @@ func (e *Engine) initShards() {
 		sh := &e.shards[i]
 		sh.lo = i * e.n / nShards
 		sh.hi = (i + 1) * e.n / nShards
-		sh.ds = dialState{rng: e.cfg.RNG.Split(), dialIdx: make([]int, 0, e.k)}
+		sh.ds = newDialState(e.cfg.RNG.Split(), e.k)
 	}
-	horizon := e.proto.Horizon()
-	e.roundCount = make([]int64, horizon+1)
-	e.pushDec = make([]bool, horizon+1)
-	e.pullDec = make([]bool, horizon+1)
-	// Preallocate the receipt queue so the round loop never grows it.
-	e.pending = make([]int32, 0, e.n)
+	e.roundCount = make([]int64, e.proto.Horizon()+1)
 }
 
 // runSharded is the parallel counterpart of Run. Each round runs three
@@ -136,8 +131,14 @@ func (e *Engine) runSharded() Result {
 				e.isPending[w] = true
 				e.pending = append(e.pending, w)
 			}
-			for _, key := range sh.usedBuf {
-				e.markUsedKey(key)
+			if e.fast {
+				for _, id := range sh.usedBuf {
+					e.markUsedID(int32(id))
+				}
+			} else {
+				for _, key := range sh.usedBuf {
+					e.markUsedKey(key)
+				}
 			}
 		}
 
@@ -168,6 +169,7 @@ func (e *Engine) runSharded() Result {
 				}
 			}
 			informedCount = e.recount()
+			e.refreshBudget(joined)
 		}
 
 		if e.noteCompletion(&res, t, informedCount, stepper != nil) {
@@ -188,8 +190,17 @@ func (e *Engine) runSharded() Result {
 // shard results are not, so scheduling cannot influence the outcome.
 func (e *Engine) runShardPasses(t int, anyPush, anyPull, dialAll bool) {
 	if e.workers <= 1 {
-		for i := range e.shards {
-			e.shardPass(&e.shards[i], t, anyPush, anyPull, dialAll)
+		// No func-value indirection here: the inline path must stay
+		// allocation-free per round, and a captured func variable would be
+		// moved to the heap by the worker closure below.
+		if e.fast {
+			for i := range e.shards {
+				e.shardPassFast(&e.shards[i], t, anyPush, anyPull, dialAll)
+			}
+		} else {
+			for i := range e.shards {
+				e.shardPass(&e.shards[i], t, anyPush, anyPull, dialAll)
+			}
 		}
 		return
 	}
@@ -204,7 +215,11 @@ func (e *Engine) runShardPasses(t int, anyPush, anyPull, dialAll bool) {
 				if i >= len(e.shards) {
 					return
 				}
-				e.shardPass(&e.shards[i], t, anyPush, anyPull, dialAll)
+				if e.fast {
+					e.shardPassFast(&e.shards[i], t, anyPush, anyPull, dialAll)
+				} else {
+					e.shardPass(&e.shards[i], t, anyPush, anyPull, dialAll)
+				}
 			}
 		}()
 	}
@@ -253,7 +268,7 @@ func (e *Engine) shardPass(sh *parShard, t int, anyPush, anyPull, dialAll bool) 
 			if track {
 				sh.usedBuf = append(sh.usedBuf, edgeKey(v, int(w)))
 			}
-			if loss > 0 && sh.ds.rng.Bool(loss) {
+			if loss > 0 && e.msgLost(&sh.ds) {
 				continue
 			}
 			if e.informedAt[w] == Uninformed && e.topo.Alive(int(w)) {
@@ -287,7 +302,7 @@ func (e *Engine) shardPass(sh *parShard, t int, anyPush, anyPull, dialAll bool) 
 			if track {
 				sh.usedBuf = append(sh.usedBuf, edgeKey(v, int(w)))
 			}
-			if loss > 0 && sh.ds.rng.Bool(loss) {
+			if loss > 0 && e.msgLost(&sh.ds) {
 				continue
 			}
 			if uninformedCaller {

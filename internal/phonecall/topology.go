@@ -32,10 +32,29 @@ type Topology interface {
 
 // Stepper is an optional interface for topologies that evolve over time
 // (churn). The engine invokes Step after every completed round.
+//
+// Budget contract: the engine caches the per-round dial budget
+// (DialBudget) and recomputes it only after a Step that changed
+// membership — one that reported joined nodes or moved the alive count.
+// A Step that changes node degrees while keeping membership fixed must
+// therefore be paired with a membership change to be re-budgeted;
+// degree-preserving rewiring (the overlay's mix and leave re-pairing)
+// needs no recomputation by construction. Every topology in this
+// repository satisfies the contract, and the churn-overlay budget test
+// pins it per round.
 type Stepper interface {
 	// Step advances the topology by one round. It returns the ids of nodes
 	// that joined during this step (the engine resets their message state).
 	Step(round int) (joined []int)
+}
+
+// AliveCounter is an optional interface for topologies that can report
+// their alive-node count in O(1) (the churn overlay maintains one). The
+// engine uses it for the per-round completion check and for membership-
+// change detection in the dial-budget cache, instead of an O(n) Alive
+// scan. The count must agree with what scanning Alive would find.
+type AliveCounter interface {
+	AliveCount() int
 }
 
 // DialBudget returns the per-round dial budget the model mandates on

@@ -183,7 +183,7 @@ func (r *Rand) DistinctK(dst []int, k, n int, scratch []int) []int {
 		return dst
 	}
 	// For very sparse selection, rejection sampling beats O(n) setup.
-	if n >= 64 && k*8 <= n {
+	if rejectionRegime(k, n) {
 		return r.distinctKRejection(dst, k, n)
 	}
 	if cap(scratch) < n {
@@ -199,6 +199,15 @@ func (r *Rand) DistinctK(dst []int, k, n int, scratch []int) []int {
 		dst = append(dst, scratch[i])
 	}
 	return dst
+}
+
+// rejectionRegime reports whether a k-of-n distinct selection samples by
+// rejection rather than partial Fisher–Yates. It is THE regime predicate:
+// DistinctK and distinctSmall share it, which is what keeps the small-k
+// samplers stream-compatible with DistinctK if the threshold is ever
+// tuned. (Note for k <= 4 it reduces to n >= 64.)
+func rejectionRegime(k, n int) bool {
+	return n >= 64 && k*8 <= n
 }
 
 // distinctKRejection draws k distinct values by rejection; only used when k
@@ -218,6 +227,66 @@ func (r *Rand) distinctKRejection(dst []int, k, n int) []int {
 		}
 	}
 	return dst
+}
+
+// distinctSmall fills out[:k] (k <= 4) with k distinct uniform values from
+// [0, n), consuming the stream EXACTLY as DistinctK would: the same
+// rejection-vs-Fisher–Yates branch condition and, per branch, the same
+// draws in the same order. Callers can therefore switch between the two
+// without changing a run's trace. Unlike DistinctK it never allocates:
+// the rejection regime (the hot one — n >= 64 holds whenever k <= 4 and
+// n >= 64) checks duplicates against out itself, and the small-n
+// Fisher–Yates regime delegates to DistinctK over a stack scratch (n < 64
+// is what makes that scratch fixed-size).
+func (r *Rand) distinctSmall(out *[4]int, k, n int) {
+	if k < 0 || k > n || k > 4 {
+		panic(fmt.Sprintf("xrand: distinctSmall k=%d n=%d", k, n))
+	}
+	if rejectionRegime(k, n) {
+		filled := 0
+		for filled < k {
+			v := r.IntN(n)
+			dup := false
+			for t := 0; t < filled; t++ {
+				if out[t&3] == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out[filled&3] = v
+				filled++
+			}
+		}
+		return
+	}
+	var scratch [64]int
+	var dst [4]int
+	copy(out[:], r.DistinctK(dst[:0], k, n, scratch[:]))
+}
+
+// Distinct2 returns two distinct uniform values from [0, n) without
+// allocating. It is stream-compatible with DistinctK(dst, 2, n, scratch):
+// same draws, same values, in the same order. It panics if n < 2.
+func (r *Rand) Distinct2(n int) (a, b int) {
+	var out [4]int
+	r.distinctSmall(&out, 2, n)
+	return out[0], out[1]
+}
+
+// Distinct3 is Distinct2 for three values. It panics if n < 3.
+func (r *Rand) Distinct3(n int) (a, b, c int) {
+	var out [4]int
+	r.distinctSmall(&out, 3, n)
+	return out[0], out[1], out[2]
+}
+
+// Distinct4 is Distinct2 for four values — the paper's four-choice dial.
+// It panics if n < 4.
+func (r *Rand) Distinct4(n int) (a, b, c, d int) {
+	var out [4]int
+	r.distinctSmall(&out, 4, n)
+	return out[0], out[1], out[2], out[3]
 }
 
 // Binomial returns a Binomial(n, p) variate. For small n it sums Bernoulli

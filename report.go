@@ -62,6 +62,21 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return err
 }
 
+// ReadReport parses a serialised JSON Report and verifies its schema
+// stamp. A schema mismatch is an error — that is the one condition the
+// CI baseline comparison is allowed to fail on (wall-clock drift is
+// reported, never fatal).
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("regcast: parsing report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("regcast: report schema %q incompatible with this build's %q", r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
 // csvHeader is the fixed column set of the CSV form; kept in lockstep with
 // writeCSVRow.
 var csvHeader = []string{

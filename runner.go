@@ -63,10 +63,11 @@ func (e Engine) String() string {
 // is unsynchronised, so never run that one scenario concurrently with
 // itself).
 type Runner struct {
-	engine  Engine
-	workers int
-	shards  int
-	mailbox int
+	engine     Engine
+	workers    int
+	shards     int
+	mailbox    int
+	noFastPath bool
 }
 
 // RunnerOption customises a Runner.
@@ -99,6 +100,13 @@ func WithShards(n int) RunnerOption { return func(r *Runner) { r.shards = n } }
 // WithMailbox sets the per-node mailbox capacity of the transport engines
 // (default 1024 packets).
 func WithMailbox(n int) RunnerOption { return func(r *Runner) { r.mailbox = n } }
+
+// WithoutFastPath forces the simulation engines onto the reference
+// interface-dispatch path even on a frozen Static topology. The CSR fast
+// path is bit-identical to the reference path (golden tests pin this), so
+// the switch exists for cross-validation and benchmarking, not as a
+// correctness escape hatch.
+func WithoutFastPath() RunnerOption { return func(r *Runner) { r.noFastPath = true } }
 
 // NewRunner builds a Runner; with no options it runs the classic
 // sequential engine.
@@ -210,6 +218,7 @@ func (r Runner) runSimulation(ctx context.Context, s Scenario) (Result, error) {
 		RNG:                s.runRNG(),
 		ChannelFailureProb: s.channelFailure,
 		MessageLossProb:    s.messageLoss,
+		GeometricFaults:    s.geometricFaults,
 		DialStrategy:       s.dial,
 		AvoidRecent:        s.avoidRecent,
 		RecordRounds:       s.recordRounds,
@@ -217,6 +226,7 @@ func (r Runner) runSimulation(ctx context.Context, s Scenario) (Result, error) {
 		StopEarly:          s.stopEarly,
 		Workers:            workers,
 		Shards:             r.shards,
+		DisableFastPath:    r.noFastPath,
 		Observer:           s.observer(),
 		Halt:               haltFor(ctx),
 	}
@@ -251,6 +261,9 @@ func (r Runner) runGoroutinePerNode(ctx context.Context, s Scenario) (Result, er
 	}
 	if s.trackEdgeUse {
 		return Result{}, fmt.Errorf("regcast: the %v engine does not implement the edge-use census (WithTrackEdgeUse)", r.engine)
+	}
+	if s.geometricFaults {
+		return Result{}, fmt.Errorf("regcast: the %v engine does not implement geometric fault skipping (WithGeometricFaults)", r.engine)
 	}
 	obs := s.observer()
 	var collector *roundCollector
