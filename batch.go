@@ -26,23 +26,33 @@ import (
 type Batch struct {
 	// Scenario is the replicated run. Each replication executes a copy of
 	// it whose randomness is replaced by the replication's derived stream.
-	// Exactly one of Scenario and New must be set. Scenarios built with
-	// WithRNG or WithObserver are rejected — a batch re-seeds every
-	// replication, and observers are per-run state — and so are dynamic
-	// (Stepper) topologies: churn mutates the topology, so replications
-	// sharing one would leak state into each other (and race under a
-	// concurrent pool). Per-run state of any kind belongs in New, which
-	// builds a fresh scenario per replication.
+	// Exactly one of Scenario and New must be set.
+	//
+	// A spec scenario (NewScenarioSpec) builds a fresh topology per
+	// replication from the replication's stream, so dynamic topologies —
+	// OverlaySpec churn, per-run random graphs — replicate without
+	// sharing state. An instance scenario (NewScenario) shares its one
+	// topology across replications, which is why a dynamic (Stepper)
+	// *instance* is rejected: churn would mutate the shared topology,
+	// leaking state between runs (and racing under a concurrent pool) —
+	// use the equivalent spec instead. Scenarios built with WithRNG or
+	// WithObserver are rejected either way: a batch re-seeds every
+	// replication, and observers are per-run state (build those through
+	// New).
 	Scenario Scenario
 
 	// New, when non-nil, builds the scenario for each replication from the
-	// replication's derived stream — for batches whose topology or
-	// protocol varies per replication (per-run graphs, churn overlays).
-	// The builder must derive all of the scenario's randomness from rng
-	// (typically WithRNG(rng) or WithRNG(rng.Split())); a builder that
-	// ignores rng makes every replication identical. New is called from
-	// pool workers and must be safe for concurrent calls with distinct
-	// rep values.
+	// replication's derived stream. Since topology variation is covered
+	// by spec scenarios (see Scenario), New remains for batches whose
+	// *protocol*, options or observers vary per replication. The builder
+	// must derive all of the scenario's randomness from rng (typically
+	// WithRNG(rng) or WithRNG(rng.Split())); a builder that instead pins
+	// an explicit WithSeed makes every replication identical. New may
+	// return a spec scenario (e.g. per-replication observers on an
+	// OverlaySpec): its topology is then built on the builder's WithRNG
+	// stream or explicit WithSeed when given, else on the replication
+	// stream. New is called from pool workers and must be safe for
+	// concurrent calls with distinct rep values.
 	New func(rep int, rng *Rand) (Scenario, error)
 
 	// Replications is R, the number of runs. Required, >= 1.
@@ -113,7 +123,9 @@ type BatchResult struct {
 	Rounds Aggregate `json:"rounds"`
 	// Transmissions aggregates total transmissions over all runs.
 	Transmissions Aggregate `json:"transmissions"`
-	// TxPerNode aggregates transmissions divided by the run's node count.
+	// TxPerNode aggregates transmissions divided by the run's alive-node
+	// count (the id-space size when no node is alive) — per-peer cost,
+	// comparable across topologies with and without dead headroom slots.
 	TxPerNode Aggregate `json:"tx_per_node"`
 	// ChannelsDialed aggregates the model-mandated channel dials.
 	ChannelsDialed Aggregate `json:"channels_dialed"`
@@ -201,7 +213,7 @@ func (b Batch) validate() error {
 	if b.ReplicationWorkers < WorkersAuto {
 		return fmt.Errorf("regcast: batch ReplicationWorkers %d invalid (use WorkersAuto, 0 or a positive count)", b.ReplicationWorkers)
 	}
-	hasScenario := b.Scenario.topo != nil || b.Scenario.proto != nil
+	hasScenario := b.Scenario.spec != nil || b.Scenario.proto != nil
 	if b.New == nil && !hasScenario {
 		return fmt.Errorf("regcast: batch needs a Scenario or a New builder")
 	}
@@ -218,8 +230,8 @@ func (b Batch) validate() error {
 		if len(b.Scenario.observers) > 0 {
 			return fmt.Errorf("regcast: batch scenarios cannot carry observers (per-run state shared across concurrent replications); build per-replication observers from Batch.New")
 		}
-		if b.Scenario.dynamic() {
-			return fmt.Errorf("regcast: batch scenarios cannot share a dynamic (Stepper) topology across replications (churn state would leak between runs and race under a concurrent pool); build a fresh topology per replication from Batch.New")
+		if b.Scenario.topo != nil && b.Scenario.dynamic() {
+			return fmt.Errorf("regcast: batch scenarios cannot share a dynamic (Stepper) topology instance across replications (churn state would leak between runs and race under a concurrent pool); describe the topology with NewScenarioSpec — e.g. OverlaySpec — so each replication builds its own")
 		}
 	}
 	return nil
@@ -254,7 +266,11 @@ func (b Batch) plan() ([]repPlan, error) {
 	plans := make([]repPlan, b.Replications)
 	for r := range plans {
 		plans[r].source = -1
-		if b.New == nil && b.RandomizeSource {
+		// Instance scenarios draw the source from the master before the
+		// split (the classic derivation, preserved bit-for-bit); spec
+		// scenarios have no topology yet — their source is drawn from the
+		// replication stream after the per-replication build (runRep).
+		if b.New == nil && b.RandomizeSource && b.Scenario.topo != nil {
 			src, err := drawAliveSource(master, b.Scenario.topo)
 			if err != nil {
 				return nil, err
@@ -269,28 +285,60 @@ func (b Batch) plan() ([]repPlan, error) {
 // runRep executes one replication.
 func (b Batch) runRep(ctx context.Context, rep int, p repPlan) (Result, error) {
 	var sc Scenario
-	if b.New != nil {
+	switch {
+	case b.New != nil:
 		var err error
 		sc, err = b.New(rep, p.rng)
 		if err != nil {
 			return Result{}, fmt.Errorf("regcast: batch replication %d: %w", rep, err)
 		}
-		if sc.topo == nil {
+		if sc.spec == nil && sc.topo == nil {
 			return Result{}, fmt.Errorf("regcast: batch replication %d: New returned a scenario without a topology", rep)
 		}
-		if b.RandomizeSource {
-			src, err := drawAliveSource(p.rng, sc.topo)
+		if sc.topo == nil {
+			// New returned a spec scenario (the composition for
+			// per-replication observers on a dynamic topology). Build it on
+			// a builder-chosen WithRNG stream or an explicit WithSeed seed
+			// when given; otherwise on the replication stream — the default
+			// a builder that just forwards the scenario expects.
+			buildRNG := sc.rng
+			if buildRNG == nil && sc.seedSet {
+				buildRNG = NewRand(sc.seed)
+			}
+			if buildRNG == nil {
+				buildRNG = p.rng
+			}
+			sc, err = sc.materialize(rep, buildRNG)
 			if err != nil {
 				return Result{}, fmt.Errorf("regcast: batch replication %d: %w", rep, err)
 			}
-			sc.source = src
 		}
-	} else {
+	case b.Scenario.topo == nil:
+		// Spec scenario: build this replication's topology from the
+		// replication stream (materialize carries the stream forward for
+		// the run itself).
+		var err error
+		sc, err = b.Scenario.materialize(rep, p.rng)
+		if err != nil {
+			return Result{}, fmt.Errorf("regcast: batch replication %d: %w", rep, err)
+		}
+	default:
 		sc = b.Scenario
 		sc.rng = p.rng
 		if p.source >= 0 {
 			sc.source = p.source
 		}
+	}
+	// For per-replication-built scenarios (New or spec), the randomized
+	// source is drawn from the replication stream after the build, over
+	// the topology that actually exists this replication; instance
+	// scenarios received their master-drawn source through the plan.
+	if b.RandomizeSource && (b.New != nil || b.Scenario.topo == nil) {
+		src, err := drawAliveSource(p.rng, sc.topo)
+		if err != nil {
+			return Result{}, fmt.Errorf("regcast: batch replication %d: %w", rep, err)
+		}
+		sc.source = src
 	}
 	res, err := b.Runner.Run(ctx, sc)
 	if err != nil {
@@ -363,10 +411,14 @@ func (b Batch) Run(ctx context.Context) (BatchResult, error) {
 		if o.alive > 0 {
 			informed.add(float64(o.informed) / float64(o.alive))
 		}
-		if n := o.nodes; n > 0 {
-			txPerNode.add(float64(o.transmissions) / float64(n))
-		} else if o.alive > 0 {
+		// Per-node cost divides by the alive population, not the id-space
+		// size: overlay topologies carry dead headroom slots in
+		// len(InformedAt), which would understate the per-peer cost (on
+		// fully-alive topologies the two denominators coincide).
+		if o.alive > 0 {
 			txPerNode.add(float64(o.transmissions) / float64(o.alive))
+		} else if o.nodes > 0 {
+			txPerNode.add(float64(o.transmissions) / float64(o.nodes))
 		}
 		if o.allInformed {
 			br.Completed++

@@ -10,14 +10,22 @@
 //	regcast-bench -grid faults -format csv          # flat CSV for plotting
 //	regcast-bench -grid protocols -rep-workers -1   # replications on a GOMAXPROCS pool
 //	regcast-bench -grid degrees -timing             # include per-cell wall-clock
+//	regcast-bench -grid topologies                  # declarative topology-family axis
+//	regcast-bench -grid churn                       # overlay join/leave-rate axis
 //	regcast-bench -grid ci -timing -o BENCH_ci.json -baseline BENCH_seed.json
 //	                                                # ...and diff against a checked-in report
+//	regcast-bench -grid ci -baseline BENCH_seed.json -max-regress 20
+//	                                                # ...and gate on mean-metric regressions
 //
 // With -baseline, the fresh report is compared cell-by-cell against the
 // given JSON report and a markdown delta table is emitted (to stdout when
 // -o diverts the report to a file, else to stderr) — the CI job appends
-// it to the run summary. Only a schema mismatch is fatal; wall-clock
-// drift is reported, never failed on, because it is machine noise.
+// it to the run summary. A schema mismatch is fatal (exit 1); wall-clock
+// drift is reported, never failed on, because it is machine noise. With
+// -max-regress <pct> on top, a cell whose mean completion rounds or
+// tx/node worsened by more than pct percent exits with code 3 — a
+// distinct code so callers can treat algorithmic regressions as warnings
+// (the CI bench job does) without masking hard failures.
 //
 // Determinism: for a fixed -seed, grid and flag set (without -timing),
 // the output bytes are identical across runs and across every
@@ -28,6 +36,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -62,13 +71,22 @@ func protoAxis(names ...string) regcast.Axis {
 }
 
 // buildCell is the shared Build function of every grid: it reads the
-// point's n / degree / protocol / fault axes (absent axes fall back to the
-// given defaults), generates the cell's graph from the point seed, and
-// returns a source-randomised batch over the scenario.
+// point's n / degree / protocol / fault / topology / churn axes (absent
+// axes fall back to the given defaults) and returns a source-randomised
+// batch over the scenario.
+//
+// Without a topology-shaped axis the cell generates one random regular
+// graph from the point seed and replicates on it — the classic derivation,
+// preserved byte-for-byte for the pre-existing grids. A "topology" axis
+// carries a declarative regcast.TopologySpec instead, and a "churn" axis
+// a per-round join/leave rate realised as an OverlaySpec; either way the
+// batch builds a fresh topology per replication from the spec.
 func buildCell(p regcast.Point, defaults cellDefaults) (regcast.Batch, error) {
 	n, d := defaults.n, defaults.d
 	mk := defaults.proto
 	var failure, loss float64
+	var spec regcast.TopologySpec
+	churn := -1.0
 	for _, prm := range p.Params() {
 		switch prm.Axis {
 		case "n":
@@ -81,21 +99,37 @@ func buildCell(p regcast.Point, defaults cellDefaults) (regcast.Batch, error) {
 			failure = p.Value("failure").(float64)
 		case "loss":
 			loss = p.Value("loss").(float64)
+		case "topology":
+			spec = p.Value("topology").(regcast.TopologySpec)
+		case "churn":
+			churn = p.Value("churn").(float64)
 		}
 	}
 	rng := regcast.NewRand(p.Seed)
-	g, err := regcast.NewRegularGraph(n, d, rng.Split())
-	if err != nil {
-		return regcast.Batch{}, err
-	}
 	proto, err := mk(n, d)
 	if err != nil {
 		return regcast.Batch{}, err
 	}
-	sc, err := regcast.NewScenario(regcast.Static(g), proto,
-		regcast.WithSeed(rng.Uint64()),
+	if churn >= 0 {
+		spec = regcast.OverlaySpec{N: n, D: d, JoinProb: churn, LeaveProb: churn, MixSteps: 5}
+	}
+	opts := []regcast.ScenarioOption{
 		regcast.WithChannelFailure(failure),
-		regcast.WithMessageLoss(loss))
+		regcast.WithMessageLoss(loss),
+	}
+	var sc regcast.Scenario
+	if spec != nil {
+		sc, err = regcast.NewScenarioSpec(spec, proto,
+			append(opts, regcast.WithSeed(rng.Uint64()))...)
+	} else {
+		var g *regcast.Graph
+		g, err = regcast.NewRegularGraph(n, d, rng.Split())
+		if err != nil {
+			return regcast.Batch{}, err
+		}
+		sc, err = regcast.NewScenario(regcast.Static(g), proto,
+			append(opts, regcast.WithSeed(rng.Uint64()))...)
+	}
 	if err != nil {
 		return regcast.Batch{}, err
 	}
@@ -152,6 +186,31 @@ var grids = map[string]grid{
 		axes:  []regcast.Axis{regcast.Vals("d", 8, 16, 32, 64), protoAxis("four-choice")},
 		def:   cellDefaults{n: 1 << 12, d: 8, proto: protocols["four-choice"]},
 	},
+	"topologies": {
+		// Every family ships as a declarative spec, so each replication
+		// builds its own fresh topology (~4096 nodes per family).
+		about: "topology-family axis: declarative specs incl. a churning overlay",
+		reps:  5,
+		axes: []regcast.Axis{
+			regcast.TopologyAxis(
+				regcast.Val("regular", regcast.RegularGraphSpec{N: 1 << 12, D: 8}),
+				regcast.Val("config-model", regcast.ConfigurationModelSpec{N: 1 << 12, D: 8, Erased: true}),
+				regcast.Val("gnp", regcast.GnpSpec{N: 1 << 12, P: 8.0 / (1 << 12)}),
+				regcast.Val("hypercube", regcast.HypercubeSpec{Dim: 12}),
+				regcast.Val("torus", regcast.TorusSpec{Rows: 64, Cols: 64}),
+				regcast.Val("overlay-churn", regcast.OverlaySpec{N: 1 << 12, D: 8, JoinProb: 0.005, LeaveProb: 0.005, MixSteps: 5}),
+			),
+			protoAxis("push-pull"),
+		},
+		def: cellDefaults{n: 1 << 12, d: 8, proto: protocols["push-pull"]},
+	},
+	"churn": {
+		// Overlay churn-rate sweep: the paper's p2p setting as a grid axis.
+		about: "per-round join/leave rate sweep on the maintained overlay",
+		reps:  5,
+		axes:  []regcast.Axis{regcast.ChurnAxis(0, 0.002, 0.01, 0.02), protoAxis("algorithm1")},
+		def:   cellDefaults{n: 1 << 11, d: 8, proto: protocols["algorithm1"]},
+	},
 }
 
 func gridNames() string {
@@ -165,6 +224,11 @@ func gridNames() string {
 
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, errRegression) {
+			// The breach details were already written with the delta table;
+			// exit with the distinct warn-only code.
+			os.Exit(exitRegression)
+		}
 		fmt.Fprintln(os.Stderr, "regcast-bench:", err)
 		os.Exit(1)
 	}
@@ -180,7 +244,9 @@ func run() error {
 		out      = flag.String("o", "", "output file (default stdout)")
 		timing   = flag.Bool("timing", false, "record per-cell wall-clock (machine-dependent; breaks byte-determinism)")
 		baseline = flag.String("baseline", "", "baseline report (JSON) to diff the fresh report against; fails only on schema mismatch")
-		common   = regcast.AddCommonFlags(flag.CommandLine)
+		maxReg   = flag.Float64("max-regress", -1,
+			"with -baseline: exit with code 3 when any cell's mean rounds or tx/node regress past this percentage (negative = report only)")
+		common = regcast.AddCommonFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
@@ -188,6 +254,9 @@ func run() error {
 	}
 	if *repWork < regcast.WorkersAuto {
 		return fmt.Errorf("-rep-workers %d invalid (use -1, 0 or a positive count)", *repWork)
+	}
+	if *maxReg >= 0 && *baseline == "" {
+		return fmt.Errorf("-max-regress needs -baseline to compare against")
 	}
 	g, ok := grids[*gridName]
 	if !ok {
@@ -234,15 +303,26 @@ func run() error {
 		return err
 	}
 	if *baseline != "" {
-		return diffBaseline(report, *baseline, *out != "")
+		return diffBaseline(report, *baseline, *maxReg, *out != "")
 	}
 	return nil
 }
 
+// exitRegression is the exit code of a -max-regress breach, distinct
+// from 1 (hard errors like an unreadable or schema-incompatible
+// baseline) so CI can treat regressions as warnings while schema drift
+// stays fatal. errRegression is the sentinel run() returns for it;
+// main maps it to the code at the single process exit point.
+const exitRegression = 3
+
+var errRegression = errors.New("bench regression past -max-regress threshold")
+
 // diffBaseline compares the fresh report against a checked-in baseline
 // and emits a markdown delta table. Wall-clock drift is informational;
-// only an unreadable or schema-incompatible baseline is an error.
-func diffBaseline(cur *regcast.Report, path string, stdoutFree bool) error {
+// an unreadable or schema-incompatible baseline is an error, and with
+// maxReg >= 0 a mean rounds/tx-per-node regression past that percentage
+// exits with code 3 after listing the offending cells.
+func diffBaseline(cur *regcast.Report, path string, maxReg float64, stdoutFree bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -257,7 +337,25 @@ func diffBaseline(cur *regcast.Report, path string, stdoutFree bool) error {
 		w = os.Stdout
 	}
 	writeComparison(w, base, cur, path)
-	return nil
+	if maxReg < 0 {
+		return nil
+	}
+	var breached []regcast.Regression
+	for _, reg := range cur.RegressionsAgainst(base) {
+		if reg.Pct > maxReg {
+			breached = append(breached, reg)
+		}
+	}
+	if len(breached) == 0 {
+		fmt.Fprintf(w, "No cell regressed past %.1f%% on mean rounds or tx/node.\n\n", maxReg)
+		return nil
+	}
+	fmt.Fprintf(w, "**%d cell metric(s) regressed past %.1f%%:**\n\n", len(breached), maxReg)
+	for _, reg := range breached {
+		fmt.Fprintf(w, "- %s: %s mean %.3f → %.3f (%+.1f%%)\n", reg.Label, reg.Metric, reg.Base, reg.Current, reg.Pct)
+	}
+	fmt.Fprintln(w)
+	return errRegression
 }
 
 // fmtClock renders a cell's wall-clock (absent in deterministic reports).

@@ -25,6 +25,16 @@
 // Scenario construction fails fast on model violations — e.g.
 // DialQuasirandom with a protocol that may pull.
 //
+// Topologies come in two forms: a concrete instance (NewScenario) or a
+// declarative TopologySpec (NewScenarioSpec; topology_spec.go) that
+// builds the network at run time — RegularGraphSpec,
+// ConfigurationModelSpec, GnpSpec, HypercubeSpec, TorusSpec, and
+// OverlaySpec, the paper's churning p2p overlay. Spec scenarios build a
+// fresh topology per Batch replication, so dynamic topologies replicate
+// and sweep like static graphs, and overlay topologies keep the
+// engines' zero-interface CSR fast path even under churn via
+// epoch-stamped CSR views (see DESIGN.md).
+//
 // Above the engines sits the batch layer (batch.go, sweep.go,
 // report.go): Batch runs R seed-derived replications of a Scenario on a
 // worker pool of whole runs and aggregates them online (Replicate is

@@ -8,8 +8,10 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"math/bits"
 
 	"regcast"
 	"regcast/internal/core"
@@ -17,7 +19,9 @@ import (
 )
 
 func main() {
-	const n, d = 1 << 13, 8
+	nFlag := flag.Int("n", 1<<13, "network size")
+	flag.Parse()
+	n, d := *nFlag, 8
 	master := regcast.NewRand(21)
 	g, err := regcast.NewRegularGraph(n, d, master.Split())
 	if err != nil {
@@ -26,7 +30,8 @@ func main() {
 	bound := oblivious.TransmissionBound(n, d)
 	fmt.Printf("G(%d,%d): Theorem 1 reference n·log₂n/log₂d = %.0f transmissions\n\n", n, d, bound)
 
-	horizon := 3 * 13 // 3·log₂ n rounds — the O(log n) budget
+	logN := bits.Len(uint(n - 1)) // ⌈log₂ n⌉
+	horizon := 3 * logN           // 3·log₂ n rounds — the O(log n) budget
 	mk := func(s *oblivious.Schedule, err error) *oblivious.Schedule {
 		if err != nil {
 			log.Fatal(err)
@@ -36,7 +41,7 @@ func main() {
 	schedules := []*oblivious.Schedule{
 		mk(oblivious.AlwaysPush(horizon)),
 		mk(oblivious.AlwaysBoth(horizon)),
-		mk(oblivious.PushThenPull(13, horizon)),
+		mk(oblivious.PushThenPull(logN, horizon)),
 		mk(oblivious.Alternating(horizon)),
 	}
 

@@ -6,6 +6,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,7 +16,9 @@ import (
 )
 
 func main() {
-	const n, d = 1 << 14, 8
+	nFlag := flag.Int("n", 1<<14, "network size")
+	flag.Parse()
+	n, d := *nFlag, 8
 	master := regcast.NewRand(42)
 
 	// A random d-regular topology, as a P2P overlay would maintain.

@@ -6,7 +6,6 @@ import (
 
 	"regcast"
 	"regcast/internal/core"
-	"regcast/internal/p2p/overlay"
 	"regcast/internal/table"
 	"regcast/internal/xrand"
 )
@@ -101,45 +100,41 @@ func runE13(o Options) ([]*table.Table, error) {
 	est.AddNote("constant-factor misestimates keep completing (underestimates shorten Phase 1 and cut it close; overestimates just pay longer schedules)")
 
 	// Part b: churn-rate sweep on the maintained overlay. Every
-	// replication needs its own overlay (the churner mutates it), so this
-	// batch builds per-replication scenarios through Batch.New instead of
-	// replicating one fixed Scenario.
+	// replication needs its own overlay (the churner mutates it); since
+	// the batch layer builds per-replication topologies from a
+	// declarative spec, the whole sweep is one OverlaySpec scenario per
+	// rate — and the spec's epoch-stamped CSR view keeps even these churn
+	// runs on the engines' fast path.
+	proto, err := core.NewAlgorithm1(n)
+	if err != nil {
+		return nil, err
+	}
 	churn := table.New(fmt.Sprintf("E13b: churn sweep on the d-regular overlay, n≈%d d=%d", n, d),
 		"join/leave prob per round", "informed frac (alive)", "overlay intact")
 	for _, q := range []float64{0, 0.001, 0.002, 0.005, 0.01, 0.02} {
-		q := q
-		ovs := make([]*overlay.Overlay, reps)
+		spec := &recordingOverlaySpec{
+			OverlaySpec: regcast.OverlaySpec{N: n, D: d, Headroom: n, JoinProb: q, LeaveProb: q, MixSteps: 5},
+			topos:       make([]regcast.Topology, reps),
+		}
+		sc, err := regcast.NewScenarioSpec(spec, proto, regcast.WithSeed(master.Uint64()))
+		if err != nil {
+			return nil, err
+		}
 		res, err := regcast.Batch{
-			Seed:               master.Uint64(),
+			Scenario:           sc,
 			Replications:       reps,
 			ReplicationWorkers: o.ReplicationWorkers,
 			Runner:             o.runner(),
-			New: func(rep int, rng *regcast.Rand) (regcast.Scenario, error) {
-				ov, err := overlay.New(n, d, n, rng.Split())
-				if err != nil {
-					return regcast.Scenario{}, err
-				}
-				ch, err := overlay.NewChurner(ov, q, q, 5, rng.Split())
-				if err != nil {
-					return regcast.Scenario{}, err
-				}
-				proto, err := core.NewAlgorithm1(n)
-				if err != nil {
-					return regcast.Scenario{}, err
-				}
-				ovs[rep] = ov
-				return regcast.NewScenario(churningOverlay{ov, ch}, proto, regcast.WithRNG(rng.Split()))
-			},
 		}.Run(context.Background())
 		if err != nil {
 			return nil, err
 		}
 		intact := true
-		for _, ov := range ovs {
-			if ov == nil {
+		for _, topo := range spec.topos {
+			if topo == nil {
 				continue
 			}
-			if err := ov.CheckInvariants(); err != nil {
+			if err := topo.(interface{ CheckInvariants() error }).CheckInvariants(); err != nil {
 				intact = false
 			}
 		}
@@ -149,13 +144,20 @@ func runE13(o Options) ([]*table.Table, error) {
 	return []*table.Table{est, churn}, nil
 }
 
-// churningOverlay combines an overlay with its churner so the engine sees
-// a single dynamic topology.
-type churningOverlay struct {
-	*overlay.Overlay
-	ch *overlay.Churner
+// recordingOverlaySpec wraps regcast.OverlaySpec to keep each built
+// topology, so the experiment can verify overlay invariants after the
+// batch (built topologies expose the overlay's CheckInvariants). Writes
+// go to distinct per-rep slots, matching the batch pool's concurrency
+// contract.
+type recordingOverlaySpec struct {
+	regcast.OverlaySpec
+	topos []regcast.Topology
 }
 
-var _ regcast.Stepper = churningOverlay{}
-
-func (c churningOverlay) Step(round int) []int { return c.ch.Step(round) }
+func (s *recordingOverlaySpec) Build(rep int, rng *regcast.Rand) (regcast.Topology, error) {
+	topo, err := s.OverlaySpec.Build(rep, rng)
+	if err == nil {
+		s.topos[rep] = topo
+	}
+	return topo, err
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"regcast/internal/xrand"
+)
+
+// This file pins the direct-to-CSR generator builds to the historical
+// edge-list derivations: for every seed, the new build paths must produce
+// element-identical graphs AND leave the generator in the same stream
+// position, so nothing downstream of a generator call (scenario seeding,
+// experiment tables, goldens) can shift.
+
+// refConfigurationModel is the historical edge-list ConfigurationModel.
+func refConfigurationModel(n, d int, rng *xrand.Rand) (*Graph, error) {
+	if err := checkRegularParams(n, d); err != nil {
+		return nil, err
+	}
+	stubs := make([]int32, n*d)
+	for i := range stubs {
+		stubs[i] = int32(i / d)
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	edges := make([][2]int32, 0, n*d/2)
+	for i := 0; i < len(stubs); i += 2 {
+		edges = append(edges, [2]int32{stubs[i], stubs[i+1]})
+	}
+	return NewFromEdges(n, edges)
+}
+
+// refErased is the historical map-based erasure over a multigraph.
+func refErased(g *Graph, n int) (*Graph, error) {
+	type pair struct{ a, b int32 }
+	seen := make(map[pair]struct{})
+	var edges [][2]int32
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) <= v {
+				continue
+			}
+			p := pair{int32(v), w}
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+			edges = append(edges, [2]int32{int32(v), w})
+		}
+	}
+	return NewFromEdges(n, edges)
+}
+
+// refGnp is the historical edge-list G(n,p) build.
+func refGnp(n int, p float64, rng *xrand.Rand) (*Graph, error) {
+	var edges [][2]int32
+	if p > 0 {
+		if p == 1 {
+			for v := 0; v < n; v++ {
+				for w := v + 1; w < n; w++ {
+					edges = append(edges, [2]int32{int32(v), int32(w)})
+				}
+			}
+		} else {
+			gnpWalk(n, p, rng, func(v, w int32) {
+				edges = append(edges, [2]int32{v, w})
+			})
+		}
+	}
+	return NewFromEdges(n, edges)
+}
+
+// sameGraph fails unless a and b have identical CSR contents.
+func sameGraph(t *testing.T, label string, a, b *Graph) {
+	t.Helper()
+	ao, aa := a.CSR()
+	bo, ba := b.CSR()
+	if len(ao) != len(bo) || len(aa) != len(ba) {
+		t.Fatalf("%s: CSR shapes differ: %d/%d offsets, %d/%d adj", label, len(ao), len(bo), len(aa), len(ba))
+	}
+	for i := range ao {
+		if ao[i] != bo[i] {
+			t.Fatalf("%s: offsets[%d] = %d vs %d", label, i, ao[i], bo[i])
+		}
+	}
+	for i := range aa {
+		if aa[i] != ba[i] {
+			t.Fatalf("%s: adj[%d] = %d vs %d", label, i, aa[i], ba[i])
+		}
+	}
+}
+
+// sameStream fails unless both generators draw the same next word.
+func sameStream(t *testing.T, label string, a, b *xrand.Rand) {
+	t.Helper()
+	if a.Uint64() != b.Uint64() {
+		t.Fatalf("%s: generator stream positions diverged", label)
+	}
+}
+
+func TestConfigurationModelMatchesEdgeListBuild(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		for _, nd := range [][2]int{{16, 4}, {64, 8}, {101, 6}, {256, 3}} {
+			n, d := nd[0], nd[1]
+			if n*d%2 != 0 {
+				continue
+			}
+			ra, rb := xrand.New(seed), xrand.New(seed)
+			got, err := ConfigurationModel(n, d, ra)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := refConfigurationModel(n, d, rb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("config-model seed=%d n=%d d=%d", seed, n, d)
+			sameGraph(t, label, got, want)
+			sameStream(t, label, ra, rb)
+		}
+	}
+}
+
+func TestErasedConfigurationModelMatchesMapBuild(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		n, d := 128, 8
+		ra, rb := xrand.New(seed), xrand.New(seed)
+		got, err := ErasedConfigurationModel(n, d, ra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := refConfigurationModel(n, d, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := refErased(multi, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("erased seed=%d", seed)
+		sameGraph(t, label, got, want)
+		sameStream(t, label, ra, rb)
+		if !got.IsSimple() {
+			t.Fatalf("%s: erased graph not simple", label)
+		}
+	}
+}
+
+func TestGnpMatchesEdgeListBuild(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		for _, p := range []float64{0, 0.01, 0.1, 0.6, 1} {
+			for _, n := range []int{0, 1, 2, 33, 128} {
+				ra, rb := xrand.New(seed), xrand.New(seed)
+				got, err := Gnp(n, p, ra)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := refGnp(n, p, rb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("gnp seed=%d n=%d p=%v", seed, n, p)
+				sameGraph(t, label, got, want)
+				sameStream(t, label, ra, rb)
+			}
+		}
+	}
+}

@@ -21,16 +21,31 @@ import (
 
 // Overlay is a mutable d-regular multigraph with an alive/dead node set.
 // Node ids are stable; departed ids are recycled by later joins.
+//
+// The adjacency is stored in compressed-sparse-row form from the start:
+// every id owns a fixed-stride row of d slots in one flat stub array, and
+// adj[v] is a slice aliasing that row (length = current degree, capacity
+// = d), so each local edge operation updates the CSR view in place. That
+// is what makes the overlay a phonecall.CSRViewer — the broadcast
+// engine's zero-interface fast path runs directly on these arrays, with
+// an alive bitset for liveness and an epoch counter that tells the
+// engine when anything changed (see CSRView).
 type Overlay struct {
-	d        int
-	adj      [][]int32
-	alive    []bool
-	aliveCnt int
-	rng      *xrand.Rand
-	freeIDs  []int32
+	d         int
+	stubs     []int32   // flat (cap × d) backing; row v is stubs[v*d : v*d+deg(v)]
+	offsets   []int32   // fixed stride: offsets[v] = v*d (the CSR view's offsets)
+	adj       [][]int32 // adj[v] aliases row v of stubs
+	alive     []bool
+	aliveBits []uint64 // bit v mirrors alive[v] (the CSR view's liveness)
+	aliveCnt  int
+	epoch     uint64 // bumped by every mutating operation
+	rng       *xrand.Rand
+	freeIDs   []int32
 }
 
 var _ phonecall.Topology = (*Overlay)(nil)
+var _ phonecall.CSRViewer = (*Overlay)(nil)
+var _ phonecall.AliveCounter = (*Overlay)(nil)
 
 // New builds an overlay of n alive peers of even degree d, with headroom
 // spare slots for future joins, seeded from an exact random d-regular
@@ -48,25 +63,65 @@ func New(n, d, headroom int, rng *xrand.Rand) (*Overlay, error) {
 	if n <= d {
 		return nil, fmt.Errorf("overlay: need n > d, got n=%d d=%d", n, d)
 	}
+	capacity := n + headroom
+	if int64(capacity)*int64(d) > int64(1)<<31-1 {
+		return nil, fmt.Errorf("overlay: capacity %d × degree %d overflows the CSR id space", capacity, d)
+	}
 	g, err := graph.RandomRegular(n, d, rng)
 	if err != nil {
 		return nil, fmt.Errorf("overlay: seeding topology: %w", err)
 	}
 	o := &Overlay{
-		d:        d,
-		adj:      make([][]int32, n+headroom),
-		alive:    make([]bool, n+headroom),
-		aliveCnt: n,
-		rng:      rng,
+		d:         d,
+		stubs:     make([]int32, capacity*d),
+		offsets:   make([]int32, capacity+1),
+		adj:       make([][]int32, capacity),
+		alive:     make([]bool, capacity),
+		aliveBits: make([]uint64, (capacity+63)/64),
+		rng:       rng,
+	}
+	for v := 0; v <= capacity; v++ {
+		o.offsets[v] = int32(v * d)
+	}
+	for v := 0; v < capacity; v++ {
+		o.adj[v] = o.stubs[v*d : v*d : (v+1)*d] // empty row aliasing its fixed-stride slots
 	}
 	for v := 0; v < n; v++ {
-		o.adj[v] = append([]int32(nil), g.Neighbors(v)...)
-		o.alive[v] = true
+		o.adj[v] = o.adj[v][:d]
+		copy(o.adj[v], g.Neighbors(v))
+		o.setAlive(v, true)
 	}
-	for v := n + headroom - 1; v >= n; v-- {
+	for v := capacity - 1; v >= n; v-- {
 		o.freeIDs = append(o.freeIDs, int32(v))
 	}
+	o.epoch++
 	return o, nil
+}
+
+// setAlive flips v's membership in the bool array, the bitset and the
+// counter together.
+func (o *Overlay) setAlive(v int, alive bool) {
+	if o.alive[v] == alive {
+		return
+	}
+	o.alive[v] = alive
+	if alive {
+		o.aliveBits[uint(v)>>6] |= 1 << (uint(v) & 63)
+		o.aliveCnt++
+	} else {
+		o.aliveBits[uint(v)>>6] &^= 1 << (uint(v) & 63)
+		o.aliveCnt--
+	}
+}
+
+// CSRView implements phonecall.CSRViewer. The returned slices are the
+// overlay's live storage: every Join/Leave/Mix updates them in place and
+// bumps the epoch, so a consumer that re-fetches on epoch change always
+// reads the current topology. Rows of dead ids hold stale stubs and must
+// not be read (their alive bit is clear); rows of alive ids are exactly
+// d slots, matching Degree.
+func (o *Overlay) CSRView() (offsets, adj []int32, alive []uint64, epoch uint64) {
+	return o.offsets, o.stubs, o.aliveBits, o.epoch
 }
 
 // NumNodes implements phonecall.Topology (id-space size incl. dead slots).
@@ -99,6 +154,7 @@ func (o *Overlay) Join() (int, error) {
 	}
 	id := int(o.freeIDs[len(o.freeIDs)-1])
 	o.freeIDs = o.freeIDs[:len(o.freeIDs)-1]
+	o.epoch++
 
 	for i := 0; i < o.d/2; i++ {
 		u, w := o.randomEdge()
@@ -112,8 +168,7 @@ func (o *Overlay) Join() (int, error) {
 		o.addEdge(u, int32(id))
 		o.addEdge(int(w), int32(id))
 	}
-	o.alive[id] = true
-	o.aliveCnt++
+	o.setAlive(id, true)
 	return id, nil
 }
 
@@ -128,6 +183,7 @@ func (o *Overlay) Leave(v int) error {
 	if o.aliveCnt <= o.d+1 {
 		return fmt.Errorf("overlay: refusing to shrink below d+1 peers")
 	}
+	o.epoch++
 	// Collect dangling stubs, dropping v's own self-loops entirely.
 	dangling := make([]int32, 0, len(o.adj[v]))
 	for _, w := range o.adj[v] {
@@ -140,8 +196,7 @@ func (o *Overlay) Leave(v int) error {
 		o.removeDirected(int(w), int32(v))
 	}
 	o.adj[v] = o.adj[v][:0]
-	o.alive[v] = false
-	o.aliveCnt--
+	o.setAlive(v, false)
 	o.freeIDs = append(o.freeIDs, int32(v))
 
 	// Re-pair the dangling stubs uniformly at random.
@@ -157,6 +212,9 @@ func (o *Overlay) Leave(v int) error {
 // create a self-loop. This is the degree-preserving Markov chain used for
 // overlay maintenance in the P2P literature the paper cites.
 func (o *Overlay) Mix(steps int) {
+	if steps > 0 {
+		o.epoch++
+	}
 	for s := 0; s < steps; s++ {
 		a, b := o.randomEdge()
 		c, e := o.randomEdge()
@@ -246,8 +304,18 @@ func (o *Overlay) randomEdge() (int, int32) {
 }
 
 // addEdge appends the two stub entries of edge (u,w). A self-loop (u==w)
-// appends two entries at u.
+// appends two entries at u. Rows alias fixed-stride CSR slots, so an
+// append past capacity d would silently detach a row from the shared
+// backing — the guard turns that (impossible by the degree invariant)
+// state into a loud failure instead.
 func (o *Overlay) addEdge(u int, w int32) {
+	overflow := len(o.adj[u]) >= o.d || len(o.adj[w]) >= o.d
+	if u == int(w) {
+		overflow = len(o.adj[u])+2 > o.d
+	}
+	if overflow {
+		panic(fmt.Sprintf("overlay: addEdge(%d,%d) would exceed degree %d", u, w, o.d))
+	}
 	o.adj[u] = append(o.adj[u], w)
 	o.adj[w] = append(o.adj[w], int32(u))
 }

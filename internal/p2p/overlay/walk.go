@@ -45,6 +45,7 @@ func (o *Overlay) WalkJoin(contact, walkLen int) (int, error) {
 	}
 	id := int(o.freeIDs[len(o.freeIDs)-1])
 	o.freeIDs = o.freeIDs[:len(o.freeIDs)-1]
+	o.epoch++
 
 	spliced := 0
 	for attempts := 0; spliced < o.d/2 && attempts < 64*o.d; attempts++ {
@@ -81,7 +82,6 @@ func (o *Overlay) WalkJoin(contact, walkLen int) (int, error) {
 			o.addEdge(int(w), int32(id))
 		}
 	}
-	o.alive[id] = true
-	o.aliveCnt++
+	o.setAlive(id, true)
 	return id, nil
 }

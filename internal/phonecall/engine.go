@@ -2,6 +2,7 @@ package phonecall
 
 import (
 	"fmt"
+	"math/bits"
 
 	"regcast/internal/xrand"
 )
@@ -165,12 +166,20 @@ type Engine struct {
 	dialTargets []int32   // flat n×k; Uninformed (-1) marks "no channel"
 	seq         dialState // RNG + scratch of the sequential path
 
-	// CSR fast path (see fastpath.go): when the topology is a frozen
-	// Static graph, the round loops index these raw arrays instead of
-	// calling Topology.Degree/Neighbor/Alive through the interface.
-	fast   bool
-	csrOff []int32
-	csrAdj []int32
+	// CSR fast path (see fastpath.go): when the topology exposes an
+	// epoch-stamped CSR view (CSRViewer — frozen Static graphs and the
+	// churning overlay alike), the round loops index these raw arrays
+	// instead of calling Topology.Degree/Neighbor/Alive through the
+	// interface. aliveBits is the view's liveness bitset (nil = every id
+	// alive, the frozen-graph case); csrEpoch is the epoch the slices
+	// were fetched at — after every Stepper.Step the engine re-fetches
+	// the view iff the epoch advanced (refreshCSR).
+	fast      bool
+	fastView  CSRViewer
+	csrOff    []int32
+	csrAdj    []int32
+	aliveBits []uint64
+	csrEpoch  uint64
 
 	// sharded-engine state (Config.Workers != 0); see parallel.go
 	workers    int
@@ -270,12 +279,16 @@ func NewEngine(cfg Config) (*Engine, error) {
 		n:     n,
 		k:     cfg.Protocol.Choices(),
 	}
-	// The zero-interface fast path engages on a frozen Static graph: its
-	// CSR arrays are extracted once, and every per-node Degree/Neighbor/
-	// Alive interface call in the round loops disappears (fastpath.go).
-	if st, ok := cfg.Topology.(Static); ok && !cfg.DisableFastPath {
+	// The zero-interface fast path engages on any topology exposing an
+	// epoch-stamped CSR view — frozen Static graphs and churning overlays
+	// alike: the CSR arrays are fetched once (and re-fetched only when the
+	// epoch advances after a churn Step), and every per-node Degree/
+	// Neighbor/Alive interface call in the round loops disappears
+	// (fastpath.go).
+	if cv, ok := cfg.Topology.(CSRViewer); ok && !cfg.DisableFastPath {
 		e.fast = true
-		e.csrOff, e.csrAdj = st.G.CSR()
+		e.fastView = cv
+		e.csrOff, e.csrAdj, e.aliveBits, e.csrEpoch = cv.CSRView()
 	}
 	e.aliveCounter, _ = cfg.Topology.(AliveCounter)
 	e.informedAt = make([]int32, n)
@@ -310,6 +323,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 		if _, dynamic := cfg.Topology.(Stepper); dynamic {
 			return nil, fmt.Errorf("phonecall: TrackEdgeUse requires a static topology")
+		}
+		// The dense-edge-id census enumerates every CSR slot, which is only
+		// well-defined on a fully-alive view (dead rows hold unspecified
+		// entries); a partially-alive CSR topology takes the reference path
+		// with the endpoint-keyed map instead.
+		if e.aliveBits != nil {
+			e.fast = false
+			e.fastView = nil
+			e.csrOff, e.csrAdj, e.aliveBits = nil, nil, nil
 		}
 		e.unusedDeg = make([]int32, n)
 		for v := 0; v < n; v++ {
@@ -418,6 +440,7 @@ func (e *Engine) Run() Result {
 			for _, v := range joined {
 				e.informedAt[v] = Uninformed
 			}
+			e.refreshCSR()
 			informedCount = e.recount()
 			e.refreshBudget(joined)
 		}
@@ -553,7 +576,7 @@ func (e *Engine) finishResult(res *Result) {
 	res.Informed = 0
 	if e.fast {
 		for v := 0; v < e.n; v++ {
-			if e.informedAt[v] != Uninformed {
+			if e.aliveFast(v) && e.informedAt[v] != Uninformed {
 				res.Informed++
 			}
 		}
@@ -679,7 +702,11 @@ func (ds *dialState) scratchFor(n int) []int {
 func (e *Engine) sampleAllDials() {
 	if e.fast {
 		for v := 0; v < e.n; v++ {
-			e.sampleDialsFast(v, &e.seq)
+			if e.aliveFast(v) {
+				e.sampleDialsFast(v, &e.seq)
+			} else {
+				e.clearDialRow(v)
+			}
 		}
 		return
 	}
@@ -687,11 +714,16 @@ func (e *Engine) sampleAllDials() {
 		if e.topo.Alive(v) {
 			e.sampleDialsFor(v, &e.seq)
 		} else {
-			base := v * e.k
-			for j := 0; j < e.k; j++ {
-				e.dialTargets[base+j] = Uninformed
-			}
+			e.clearDialRow(v)
 		}
+	}
+}
+
+// clearDialRow marks every dial slot of v as "no channel".
+func (e *Engine) clearDialRow(v int) {
+	base := v * e.k
+	for j := 0; j < e.k; j++ {
+		e.dialTargets[base+j] = Uninformed
 	}
 }
 
@@ -825,7 +857,7 @@ func (e *Engine) refreshBudget(joined []int) {
 
 // aliveCount returns the number of alive nodes.
 func (e *Engine) aliveCount() int {
-	if e.fast {
+	if e.fast && e.aliveBits == nil {
 		return e.n
 	}
 	if _, ok := e.topo.(Static); ok {
@@ -833,6 +865,13 @@ func (e *Engine) aliveCount() int {
 	}
 	if e.aliveCounter != nil {
 		return e.aliveCounter.AliveCount()
+	}
+	if e.fast {
+		c := 0
+		for _, w := range e.aliveBits {
+			c += bits.OnesCount64(w)
+		}
+		return c
 	}
 	c := 0
 	for v := 0; v < e.n; v++ {
@@ -843,10 +882,42 @@ func (e *Engine) aliveCount() int {
 	return c
 }
 
+// aliveFast reports liveness from the CSR view's bitset (nil = all
+// alive). Fast-path loops use it exactly where the reference path calls
+// Topology.Alive; neither draws randomness, which is what keeps the two
+// paths bit-identical.
+func (e *Engine) aliveFast(v int) bool {
+	return e.aliveBits == nil || e.aliveBits[uint(v)>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// refreshCSR re-fetches the topology's CSR view after a churn Step, but
+// only when the epoch advanced — the contract that lets churn runs keep
+// the fast path between churn events at the cost of one epoch compare
+// per round.
+func (e *Engine) refreshCSR() {
+	if e.fastView == nil {
+		return
+	}
+	off, adj, alive, epoch := e.fastView.CSRView()
+	if epoch == e.csrEpoch {
+		return
+	}
+	e.csrOff, e.csrAdj, e.aliveBits, e.csrEpoch = off, adj, alive, epoch
+}
+
 // recount recomputes the informed-alive count after churn invalidated the
-// incremental counter.
+// incremental counter (on the fast path over the CSR view's bitset —
+// callers refresh the view first).
 func (e *Engine) recount() int {
 	c := 0
+	if e.fast {
+		for v := 0; v < e.n; v++ {
+			if e.aliveFast(v) && e.informedAt[v] != Uninformed {
+				c++
+			}
+		}
+		return c
+	}
 	for v := 0; v < e.n; v++ {
 		if e.topo.Alive(v) && e.informedAt[v] != Uninformed {
 			c++

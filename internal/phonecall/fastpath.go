@@ -1,21 +1,26 @@
 package phonecall
 
 // This file is the zero-interface hot path of both engines. When the
-// topology is a frozen Static graph (and Config.DisableFastPath is off),
-// NewEngine extracts the graph's CSR arrays once and the round loops run
+// topology exposes an epoch-stamped CSR view (CSRViewer; frozen Static
+// graphs and the churning overlay alike, unless Config.DisableFastPath),
+// NewEngine fetches the view's raw arrays once and the round loops run
 // against raw slices: no Topology.Degree/Neighbor/Alive dynamic dispatch
 // in dial sampling, the push loop, or the pull scan, small-k distinct
 // samplers (xrand.Distinct2/3/4) instead of the scratch-based DistinctK,
 // and — with Config.TrackEdgeUse — a CSR-indexed bitset census instead of
-// the edge-key map.
+// the edge-key map. On a churning topology the view is re-fetched only
+// when its epoch advances (refreshCSR, once per Step), and liveness is a
+// bitset probe (aliveFast) placed exactly where the reference path calls
+// Topology.Alive.
 //
 // Contract: for identical Config (minus DisableFastPath) and seed, the
 // fast path produces bit-identical Results to the reference interface
 // path, because it consumes the PRNG stream draw-for-draw identically:
 // the small-k samplers are stream-compatible with DistinctK, alive checks
-// draw no randomness (every Static node is alive), and the fault helpers
-// (chanFails/msgLost) are shared with the reference path. Golden tests
-// (fastpath_test.go) pin this across the E1–E20 configuration matrix.
+// draw no randomness (bitset probes on churn views, vacuous on frozen
+// graphs), and the fault helpers (chanFails/msgLost) are shared with the
+// reference path. Golden tests (fastpath_test.go) pin this across the
+// E1–E20 configuration matrix and across churn overlay configurations.
 
 // sampleDialsFast is the CSR twin of sampleDialsFor: it fills node v's
 // dialTargets row (and, when the edge census is on, its dialEdge row)
@@ -70,6 +75,22 @@ func (e *Engine) sampleDialsFast(v int, ds *dialState) {
 		idxs = ds.dialIdx
 	}
 	failure := e.cfg.ChannelFailureProb
+	if e.aliveBits != nil {
+		// Churn view: a dead target skips the slot before the fault draw,
+		// exactly like the reference path's Alive(w) check (no census on
+		// partially-alive views; NewEngine guarantees dialEdge == nil here).
+		for j, idx := range idxs {
+			w := e.csrAdj[off+idx]
+			if !e.aliveFast(int(w)) {
+				continue
+			}
+			if failure > 0 && e.chanFails(ds) {
+				continue
+			}
+			e.dialTargets[base+j] = w
+		}
+		return
+	}
 	if e.dialEdge == nil {
 		for j, idx := range idxs {
 			if failure > 0 && e.chanFails(ds) {
@@ -105,10 +126,14 @@ func (e *Engine) sampleQuasirandomFast(v, off, deg int, ds *dialState) {
 		if idx >= deg {
 			idx -= deg
 		}
+		w := e.csrAdj[off+idx]
+		if e.aliveBits != nil && !e.aliveFast(int(w)) {
+			continue // dead target: skip before the fault draw (reference order)
+		}
 		if failure > 0 && e.chanFails(ds) {
 			continue
 		}
-		e.dialTargets[base+j] = e.csrAdj[off+idx]
+		e.dialTargets[base+j] = w
 		if e.dialEdge != nil {
 			e.dialEdge[base+j] = e.slotEdge[off+idx]
 		}
@@ -145,6 +170,9 @@ func (e *Engine) sampleWithMemoryFast(v, off, deg int, ds *dialState) {
 	// Record the partner regardless of channel failure: the node dialled it.
 	e.recent[memBase+e.recentPos[v]] = int32(choice)
 	e.recentPos[v] = (e.recentPos[v] + 1) % r
+	if e.aliveBits != nil && !e.aliveFast(choice) {
+		return // dead partner: recorded but no channel (reference order)
+	}
 	if e.cfg.ChannelFailureProb > 0 && e.chanFails(ds) {
 		return
 	}
@@ -155,17 +183,17 @@ func (e *Engine) sampleWithMemoryFast(v, off, deg int, ds *dialState) {
 }
 
 // pushGroupFast is the CSR twin of pushGroup: one receipt cohort sends
-// over its dialled channels, with delivery inlined (no alive checks — a
-// Static topology has no churn, so cohort entries are never stale either;
-// the receipt-round check is kept because it is one load and documents
-// the invariant).
+// over its dialled channels, with delivery inlined. Liveness is a bitset
+// probe (vacuously true on frozen views, where cohort entries are never
+// stale either; the receipt-round check is kept because it is one load
+// and documents the invariant).
 func (e *Engine) pushGroupFast(group []int32, ia int, dialAll bool) int64 {
 	var tx int64
 	loss := e.cfg.MessageLossProb
 	k := e.k
 	census := e.dialEdge != nil
 	for _, v := range group {
-		if e.informedAt[v] != int32(ia) {
+		if e.informedAt[v] != int32(ia) || !e.aliveFast(int(v)) {
 			continue
 		}
 		if !dialAll {
@@ -184,7 +212,7 @@ func (e *Engine) pushGroupFast(group []int32, ia int, dialAll bool) int64 {
 			if loss > 0 && e.msgLost(&e.seq) {
 				continue
 			}
-			if e.informedAt[w] == Uninformed && !e.isPending[w] {
+			if e.aliveFast(int(w)) && e.informedAt[w] == Uninformed && !e.isPending[w] {
 				e.isPending[w] = true
 				e.pending = append(e.pending, w)
 			}
@@ -201,6 +229,9 @@ func (e *Engine) pullScanFast(t int) int64 {
 	k := e.k
 	census := e.dialEdge != nil
 	for v := 0; v < e.n; v++ {
+		if !e.aliveFast(v) {
+			continue
+		}
 		base := v * k
 		for j := 0; j < k; j++ {
 			w := e.dialTargets[base+j]
@@ -240,9 +271,16 @@ func (e *Engine) shardPassFast(sh *parShard, t int, anyPush, anyPull, dialAll bo
 	k := e.k
 
 	for v := sh.lo; v < sh.hi; v++ {
+		alive := e.aliveFast(v)
 		ia := e.informedAt[v]
-		sender := anyPush && ia != Uninformed && int(ia) < t && e.pushDec[ia]
-		if dialAll || sender {
+		sender := anyPush && alive && ia != Uninformed && int(ia) < t && e.pushDec[ia]
+		if dialAll {
+			if alive {
+				e.sampleDialsFast(v, &sh.ds)
+			} else {
+				e.clearDialRow(v)
+			}
+		} else if sender {
 			e.sampleDialsFast(v, &sh.ds)
 		}
 		if !sender {
@@ -261,7 +299,7 @@ func (e *Engine) shardPassFast(sh *parShard, t int, anyPush, anyPull, dialAll bo
 			if loss > 0 && e.msgLost(&sh.ds) {
 				continue
 			}
-			if e.informedAt[w] == Uninformed {
+			if e.informedAt[w] == Uninformed && e.aliveFast(int(w)) {
 				sh.outbox = append(sh.outbox, w)
 			}
 		}
@@ -271,6 +309,9 @@ func (e *Engine) shardPassFast(sh *parShard, t int, anyPush, anyPull, dialAll bo
 		return
 	}
 	for v := sh.lo; v < sh.hi; v++ {
+		if !e.aliveFast(v) {
+			continue
+		}
 		uninformedCaller := e.informedAt[v] == Uninformed
 		base := v * k
 		for j := 0; j < k; j++ {

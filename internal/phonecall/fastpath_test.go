@@ -287,9 +287,12 @@ func TestFastPathGoldenE1toE20(t *testing.T) {
 	}
 }
 
-// dynamicRing is a small churning topology (one node flaps); the fast
-// path must not engage on it, and forcing the reference path must be a
-// no-op — both runs take the same code path and must match trivially.
+// dynamicRing is a small churning topology (one node flaps) WITHOUT a
+// CSR view; the fast path must not engage on it, and forcing the
+// reference path must be a no-op — both runs take the same code path and
+// must match trivially. (Churning topologies WITH a CSR view — the
+// overlay — engage the fast path and are pinned bit-identical to the
+// reference path by TestFastPathGoldenChurn.)
 type dynamicRing struct {
 	g     *graph.Graph
 	round int
@@ -312,8 +315,8 @@ func (c *dynamicRing) Step(round int) []int {
 	return nil
 }
 
-// TestFastPathDisengagesOnChurn covers E13b's shape: a dynamic topology
-// stays on the reference path and DisableFastPath changes nothing.
+// TestFastPathDisengagesOnChurn covers viewless dynamic topologies: they
+// stay on the reference path and DisableFastPath changes nothing.
 func TestFastPathDisengagesOnChurn(t *testing.T) {
 	g := mustRegular(t, 128, 6, 31)
 	push, err := baseline.NewPush(128, 1)

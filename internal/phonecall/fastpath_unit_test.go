@@ -8,9 +8,11 @@ import (
 	"regcast/internal/xrand"
 )
 
-// TestFastPathEngagement pins when the CSR fast path engages: on a frozen
-// Static topology only, and never when DisableFastPath asks for the
-// reference path.
+// TestFastPathEngagement pins when the CSR fast path engages: on any
+// topology exposing an epoch-stamped CSR view (frozen Static graphs and
+// CSRViewer implementations with liveness bitsets alike), and never when
+// DisableFastPath asks for the reference path or the topology offers no
+// view.
 func TestFastPathEngagement(t *testing.T) {
 	g := testGraph(t, 64, 4, 1)
 	base := Config{Topology: NewStatic(g), Protocol: pushProto{1, 10}, RNG: xrand.New(1)}
@@ -24,6 +26,9 @@ func TestFastPathEngagement(t *testing.T) {
 	}
 	if e.csrOff == nil || e.csrAdj == nil {
 		t.Error("fast engine is missing its CSR view")
+	}
+	if e.aliveBits != nil {
+		t.Error("Static view carries an alive bitset; it should be nil (all alive)")
 	}
 
 	ref := base
@@ -43,8 +48,68 @@ func TestFastPathEngagement(t *testing.T) {
 		t.Fatal(err)
 	}
 	if e.fast {
-		t.Error("dynamic topology engaged the fast path")
+		t.Error("a Stepper without a CSR view engaged the fast path")
 	}
+
+	viewed := base
+	viewed.Topology = newViewTopo(g, 64-1) // highest id dead
+	e, err = NewEngine(viewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.fast {
+		t.Error("CSRViewer topology did not engage the fast path")
+	}
+	if e.aliveBits == nil {
+		t.Error("partially-alive CSR view lost its alive bitset")
+	}
+	if e.aliveCount() != 63 {
+		t.Errorf("aliveCount over the bitset = %d, want 63", e.aliveCount())
+	}
+
+	// The dense edge census needs a fully-alive view; with dead ids the
+	// engine must take the reference path (which records the census in
+	// the endpoint-keyed map).
+	census := viewed
+	census.RecordRounds = true
+	census.TrackEdgeUse = true
+	e, err = NewEngine(census)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.fast {
+		t.Error("edge census on a partially-alive view kept the fast path")
+	}
+	if e.usedEdges == nil {
+		t.Error("edge census on a partially-alive view lost the reference map")
+	}
+}
+
+// viewTopo adapts a frozen graph into a partially-alive CSRViewer — the
+// minimal stand-in for overlay-shaped topologies in engine unit tests.
+type viewTopo struct {
+	g     *graph.Graph
+	alive []uint64
+}
+
+func newViewTopo(g *graph.Graph, dead ...int) *viewTopo {
+	v := &viewTopo{g: g, alive: make([]uint64, (g.NumNodes()+63)/64)}
+	for i := 0; i < g.NumNodes(); i++ {
+		v.alive[uint(i)>>6] |= 1 << (uint(i) & 63)
+	}
+	for _, d := range dead {
+		v.alive[uint(d)>>6] &^= 1 << (uint(d) & 63)
+	}
+	return v
+}
+
+func (v *viewTopo) NumNodes() int         { return v.g.NumNodes() }
+func (v *viewTopo) Degree(n int) int      { return v.g.Degree(n) }
+func (v *viewTopo) Neighbor(n, i int) int { return v.g.Neighbor(n, i) }
+func (v *viewTopo) Alive(n int) bool      { return v.alive[uint(n)>>6]&(1<<(uint(n)&63)) != 0 }
+func (v *viewTopo) CSRView() (offsets, adj []int32, alive []uint64, epoch uint64) {
+	offsets, adj = v.g.CSR()
+	return offsets, adj, v.alive, 0
 }
 
 // TestEdgeCensusBitset unit-tests the CSR census structures against the

@@ -168,6 +168,7 @@ func (e *Engine) runSharded() Result {
 					e.informedAt[v] = Uninformed
 				}
 			}
+			e.refreshCSR()
 			informedCount = e.recount()
 			e.refreshBudget(joined)
 		}
@@ -247,10 +248,7 @@ func (e *Engine) shardPass(sh *parShard, t int, anyPush, anyPull, dialAll bool) 
 			if alive {
 				e.sampleDialsFor(v, &sh.ds)
 			} else {
-				base := v * e.k
-				for j := 0; j < e.k; j++ {
-					e.dialTargets[base+j] = Uninformed
-				}
+				e.clearDialRow(v)
 			}
 		} else if sender {
 			e.sampleDialsFor(v, &sh.ds)

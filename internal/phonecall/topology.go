@@ -48,6 +48,34 @@ type Stepper interface {
 	Step(round int) (joined []int)
 }
 
+// CSRViewer is the optional interface behind the zero-interface fast
+// path (fastpath.go): a topology that exposes its adjacency as
+// epoch-stamped compressed-sparse-row arrays. The engine engages the
+// fast path on any topology implementing it — frozen graphs and churning
+// overlays alike — and re-fetches the view only when the epoch advances
+// (it checks once after every Stepper.Step), so churn runs execute
+// fast-path rounds between churn events instead of falling back to
+// interface dispatch permanently.
+//
+// Contract:
+//
+//   - The adjacency of an alive node v is adj[offsets[v]:offsets[v+1]],
+//     and offsets[v+1]-offsets[v] == Degree(v) for every alive v.
+//   - alive is a bitset over node ids (bit v of alive[v/64]); nil means
+//     every id is alive. The bits must agree with Alive(v). The rows of
+//     dead ids are unspecified and are never read — a fixed-stride
+//     implementation may leave stale entries there.
+//   - Adjacency entries may reference dead ids; the engine re-checks
+//     target liveness exactly where the reference path calls Alive.
+//   - epoch changes whenever the contents of offsets, adj or alive
+//     change. The slices may be reallocated between epochs, so consumers
+//     must re-fetch all four values when the epoch moves; while the
+//     epoch is unchanged the slices are stable and read-only.
+type CSRViewer interface {
+	Topology
+	CSRView() (offsets, adj []int32, alive []uint64, epoch uint64)
+}
+
 // AliveCounter is an optional interface for topologies that can report
 // their alive-node count in O(1) (the churn overlay maintains one). The
 // engine uses it for the per-round completion check and for membership-
@@ -97,3 +125,11 @@ func (s Static) Neighbor(v, i int) int { return s.G.Neighbor(v, i) }
 
 // Alive implements Topology; every node of a static graph is alive.
 func (s Static) Alive(int) bool { return true }
+
+// CSRView implements CSRViewer: the graph's own CSR arrays, a nil alive
+// bitset (every node is alive) and a constant epoch (the graph never
+// changes).
+func (s Static) CSRView() (offsets, adj []int32, alive []uint64, epoch uint64) {
+	offsets, adj = s.G.CSR()
+	return offsets, adj, nil, 0
+}

@@ -1,0 +1,48 @@
+package regcast_test
+
+import (
+	"testing"
+
+	"regcast"
+)
+
+// TestReportRegressionsAgainst pins the -max-regress comparison: cells
+// matched by label, only worsened means reported, worst first, zero
+// baselines and unmatched cells skipped, wall-clock ignored.
+func TestReportRegressionsAgainst(t *testing.T) {
+	cell := func(label string, rounds, txPerNode float64) regcast.CellReport {
+		return regcast.CellReport{
+			Label:     label,
+			Rounds:    regcast.Aggregate{Mean: rounds},
+			TxPerNode: regcast.Aggregate{Mean: txPerNode},
+		}
+	}
+	base := &regcast.Report{Schema: regcast.ReportSchema, Cells: []regcast.CellReport{
+		cell("a", 10, 20),
+		cell("b", 10, 20),
+		cell("c", 0, 0),    // zero baseline: nothing to compare against
+		cell("gone", 5, 5), // dropped from the current grid
+	}}
+	cur := &regcast.Report{Schema: regcast.ReportSchema, Cells: []regcast.CellReport{
+		cell("a", 11, 18),   // rounds +10%, tx/node improved
+		cell("b", 10, 30),   // tx/node +50%
+		cell("c", 99, 99),   // baseline was zero: skipped
+		cell("new", 50, 50), // not in the baseline: skipped
+	}}
+	regs := cur.RegressionsAgainst(base)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %+v, want 2", len(regs), regs)
+	}
+	if regs[0].Label != "b" || regs[0].Metric != "tx_per_node" || regs[0].Pct != 50 {
+		t.Errorf("worst regression = %+v, want b/tx_per_node/+50%%", regs[0])
+	}
+	if regs[1].Label != "a" || regs[1].Metric != "rounds" {
+		t.Errorf("second regression = %+v, want a/rounds", regs[1])
+	}
+	if got := regs[1].Pct; got < 9.99 || got > 10.01 {
+		t.Errorf("rounds regression pct = %v, want ~10", got)
+	}
+	if again := cur.RegressionsAgainst(base); len(again) != 2 || again[0] != regs[0] {
+		t.Errorf("comparison is not deterministic: %+v vs %+v", again, regs)
+	}
+}

@@ -163,6 +163,17 @@ func (r Runner) Run(ctx context.Context, s Scenario) (Result, error) {
 	if r.workers < WorkersAuto {
 		return Result{}, fmt.Errorf("regcast: workers %d invalid (use WorkersAuto, 0 or a positive count)", r.workers)
 	}
+	// A spec scenario builds its topology now, from its own stream (the
+	// WithRNG stream or the seed-derived one), and the run continues on
+	// that same stream — the master.Split() idiom with the splits done by
+	// the spec. Batch replications bypass this by materialising per
+	// replication themselves.
+	if s.topo == nil {
+		var err error
+		if s, err = s.materialize(0, s.runRNG()); err != nil {
+			return Result{}, err
+		}
+	}
 	switch r.engine {
 	case EngineSequential, EngineSharded:
 		return r.runSimulation(ctx, s)

@@ -6,14 +6,25 @@ import (
 
 // Scenario is one fully described broadcast: a topology, a protocol
 // schedule, a fault model, and the observation hooks. Build it with
-// NewScenario; the zero value is not runnable. A Scenario is
-// engine-agnostic — the Runner decides how it executes.
+// NewScenario (around a concrete Topology instance) or NewScenarioSpec
+// (around a declarative TopologySpec); the zero value is not runnable. A
+// Scenario is engine-agnostic — the Runner decides how it executes.
+//
+// Internally a Scenario always holds a TopologySpec; NewScenario wraps
+// its instance as a constant spec (FixedTopology), which is why the two
+// constructors behave identically under a single Run. They differ under
+// replication: a Batch re-Builds a spec scenario's topology per
+// replication (so churning topologies replicate safely and per-run
+// graphs need no builder callback), while a constant-spec scenario
+// shares its one instance across replications.
 type Scenario struct {
-	topo  Topology
+	spec  TopologySpec
+	topo  Topology // the instance: set for constant specs, else materialised per run
 	proto Protocol
 
 	source      int
 	seed        uint64
+	seedSet     bool // WithSeed was applied (vs. the default seed 1)
 	rng         *Rand
 	dial        DialStrategy
 	avoidRecent int
@@ -37,7 +48,9 @@ func WithSource(v int) ScenarioOption { return func(s *Scenario) { s.source = v 
 
 // WithSeed seeds the run's randomness (default 1). Every Run of the same
 // Scenario and engine reproduces the same trace.
-func WithSeed(seed uint64) ScenarioOption { return func(s *Scenario) { s.seed = seed } }
+func WithSeed(seed uint64) ScenarioOption {
+	return func(s *Scenario) { s.seed, s.seedSet = seed, true }
+}
 
 // WithRNG drives the run from an existing stream instead of a fresh seed —
 // the master.Split() idiom of programs that also generate their topology
@@ -100,9 +113,45 @@ func WithObserver(obs Observer) ScenarioOption {
 }
 
 // NewScenario validates and assembles a broadcast scenario on the given
-// topology and protocol schedule.
+// topology instance and protocol schedule. The instance is held as a
+// constant spec (FixedTopology): every run — and every replication of a
+// Batch — executes on this one topology.
 func NewScenario(topo Topology, proto Protocol, opts ...ScenarioOption) (Scenario, error) {
-	s := Scenario{topo: topo, proto: proto, seed: 1}
+	if topo == nil {
+		return Scenario{}, fmt.Errorf("regcast: scenario requires a Topology")
+	}
+	return assemble(Scenario{spec: FixedTopology(topo), topo: topo, proto: proto, seed: 1}, opts)
+}
+
+// NewScenarioSpec validates and assembles a broadcast scenario on a
+// declarative topology spec. The topology is built when the scenario
+// runs: once per Runner.Run (from the scenario's own stream), or once per
+// replication of a Batch (from the replication's derived stream) — which
+// is what lets churning topologies such as OverlaySpec replicate without
+// sharing state, appear in sweep grids, and randomise per-run graphs
+// without a Batch.New builder. Topology-dependent validation (source
+// range and liveness) necessarily happens at build time.
+func NewScenarioSpec(spec TopologySpec, proto Protocol, opts ...ScenarioOption) (Scenario, error) {
+	if spec == nil {
+		return Scenario{}, fmt.Errorf("regcast: scenario requires a TopologySpec")
+	}
+	s := Scenario{spec: spec, proto: proto, seed: 1}
+	// A constant spec is unwrapped eagerly, making
+	// NewScenarioSpec(FixedTopology(t), ...) exactly equivalent to
+	// NewScenario(t, ...): instance-dependent validation runs at
+	// construction, and the batch layer's shared-instance rules (e.g. the
+	// dynamic-Stepper rejection) see the instance.
+	if fs, ok := spec.(fixedSpec); ok {
+		s.topo = fs.topo
+		if s.topo == nil {
+			return Scenario{}, fmt.Errorf("regcast: scenario requires a Topology")
+		}
+	}
+	return assemble(s, opts)
+}
+
+// assemble applies the options and runs construction-time validation.
+func assemble(s Scenario, opts []ScenarioOption) (Scenario, error) {
 	for _, opt := range opts {
 		opt(&s)
 	}
@@ -112,22 +161,24 @@ func NewScenario(topo Topology, proto Protocol, opts ...ScenarioOption) (Scenari
 	return s, nil
 }
 
-// validate checks every engine-independent constraint, so misconfiguration
-// fails at construction time with a descriptive error rather than deep in
-// an engine.
+// validate checks every constraint that does not need a topology
+// instance, plus the instance-dependent ones (validateTopo) when the
+// instance is already known — so misconfiguration fails at construction
+// time with a descriptive error rather than deep in an engine. Spec
+// scenarios re-run validateTopo after each materialisation.
 func (s *Scenario) validate() error {
-	if s.topo == nil {
+	if s.spec == nil {
 		return fmt.Errorf("regcast: scenario requires a Topology")
 	}
 	if s.proto == nil {
 		return fmt.Errorf("regcast: scenario requires a Protocol")
 	}
-	n := s.topo.NumNodes()
-	if s.source < 0 || s.source >= n {
-		return fmt.Errorf("regcast: source %d out of range [0,%d)", s.source, n)
-	}
-	if !s.topo.Alive(s.source) {
-		return fmt.Errorf("regcast: source %d is not alive", s.source)
+	if s.topo != nil {
+		if err := s.validateTopo(); err != nil {
+			return err
+		}
+	} else if s.source < 0 {
+		return fmt.Errorf("regcast: source %d < 0", s.source)
 	}
 	if s.channelFailure < 0 || s.channelFailure > 1 {
 		return fmt.Errorf("regcast: channel failure probability %v out of [0,1]", s.channelFailure)
@@ -157,6 +208,42 @@ func (s *Scenario) validate() error {
 		}
 	}
 	return nil
+}
+
+// validateTopo checks the constraints that need a topology instance.
+func (s *Scenario) validateTopo() error {
+	n := s.topo.NumNodes()
+	if s.source < 0 || s.source >= n {
+		return fmt.Errorf("regcast: source %d out of range [0,%d)", s.source, n)
+	}
+	if !s.topo.Alive(s.source) {
+		return fmt.Errorf("regcast: source %d is not alive", s.source)
+	}
+	return nil
+}
+
+// materialize builds a spec scenario's topology for replication rep from
+// rng and returns the runnable copy: the built instance installed, the
+// same stream carried forward for the run itself, and the instance-
+// dependent validation re-run. Constant-spec scenarios (topo already
+// set) are returned unchanged.
+func (s Scenario) materialize(rep int, rng *Rand) (Scenario, error) {
+	if s.topo != nil {
+		return s, nil
+	}
+	topo, err := s.spec.Build(rep, rng)
+	if err != nil {
+		return Scenario{}, err
+	}
+	if topo == nil {
+		return Scenario{}, fmt.Errorf("regcast: TopologySpec built a nil topology")
+	}
+	s.topo = topo
+	s.rng = rng
+	if err := s.validateTopo(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
 }
 
 // runRNG returns the stream the run draws from: the explicit WithRNG

@@ -38,6 +38,33 @@ func Val(label string, value any) AxisValue {
 	return AxisValue{Label: label, Value: value}
 }
 
+// TopologyAxis builds the conventional "topology" axis from labelled
+// declarative specs, so grids can sweep whole topology families —
+// including dynamic ones:
+//
+//	regcast.TopologyAxis(
+//		regcast.Val("regular", regcast.RegularGraphSpec{N: n, D: 8}),
+//		regcast.Val("hypercube", regcast.HypercubeSpec{Dim: 12}),
+//		regcast.Val("overlay-churn", regcast.OverlaySpec{N: n, D: 8, JoinProb: 0.01, LeaveProb: 0.01}),
+//	)
+//
+// Build functions read the spec back with
+// p.Value("topology").(regcast.TopologySpec) and hand it to
+// NewScenarioSpec.
+func TopologyAxis(specs ...AxisValue) Axis {
+	return Axis{Name: "topology", Values: specs}
+}
+
+// ChurnAxis builds the conventional "churn" axis: per-round join/leave
+// probabilities for overlay topologies, labelled by rate.
+func ChurnAxis(rates ...float64) Axis {
+	ax := Axis{Name: "churn"}
+	for _, q := range rates {
+		ax.Values = append(ax.Values, AxisValue{Label: fmt.Sprint(q), Value: q})
+	}
+	return ax
+}
+
 // Point is one cell of a sweep's grid: a value fixed on every axis, plus
 // the cell's deterministic seed.
 type Point struct {

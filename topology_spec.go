@@ -1,0 +1,194 @@
+package regcast
+
+import (
+	"fmt"
+
+	"regcast/internal/graph"
+	"regcast/internal/p2p/overlay"
+	"regcast/internal/phonecall"
+)
+
+// TopologySpec describes how to construct a Topology instead of holding
+// one — the declarative form that lets a single Scenario value stand for
+// a whole family of networks. A Batch over a spec scenario builds one
+// fresh topology per replication (so dynamic, churning topologies
+// replicate safely: no state leaks between runs), and a Sweep can carry
+// specs as axis values.
+//
+// Build must derive every bit of randomness it needs from rng — the
+// convention is one rng.Split() per internal consumer, mirroring the
+// master.Split() idiom of hand-written programs — and must not retain or
+// advance rng beyond that. rep is the replication index (0 for a direct
+// Runner.Run); specs whose construction is deterministic may ignore both.
+// Build is called from batch pool workers and must be safe for concurrent
+// calls with distinct rep values — in particular, a spec for a *dynamic*
+// (Stepper) topology must build a fresh instance per call: returning one
+// cached churning instance would leak state between replications and
+// race under a concurrent pool, exactly what the batch layer's
+// fixed-Stepper rejection exists to prevent.
+type TopologySpec interface {
+	Build(rep int, rng *Rand) (Topology, error)
+}
+
+// fixedSpec wraps an existing Topology instance as a constant spec.
+type fixedSpec struct{ topo Topology }
+
+func (s fixedSpec) Build(int, *Rand) (Topology, error) { return s.topo, nil }
+
+// FixedTopology wraps a concrete Topology instance as a constant
+// TopologySpec: Build returns the same instance for every replication.
+// NewScenario uses it implicitly, which is why the instance-based API is
+// a special case of the spec-based one. Note that a fixed *dynamic*
+// (Stepper) topology cannot be replicated in a Batch — churn would leak
+// between runs — while a dynamic spec such as OverlaySpec can.
+func FixedTopology(topo Topology) TopologySpec { return fixedSpec{topo: topo} }
+
+// RegularGraphSpec builds a simple random d-regular graph on n nodes —
+// the paper's standard topology — freshly per replication.
+type RegularGraphSpec struct {
+	N, D int
+}
+
+// Build implements TopologySpec.
+func (s RegularGraphSpec) Build(rep int, rng *Rand) (Topology, error) {
+	g, err := graph.RandomRegular(s.N, s.D, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	return Static(g), nil
+}
+
+// ConfigurationModelSpec builds a random d-regular multigraph by the
+// pairing model of the paper's §1.2; with Erased set, self-loops are
+// dropped and parallel edges collapsed (degrees then at most D).
+type ConfigurationModelSpec struct {
+	N, D   int
+	Erased bool
+}
+
+// Build implements TopologySpec.
+func (s ConfigurationModelSpec) Build(rep int, rng *Rand) (Topology, error) {
+	gen := graph.ConfigurationModel
+	if s.Erased {
+		gen = graph.ErasedConfigurationModel
+	}
+	g, err := gen(s.N, s.D, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	return Static(g), nil
+}
+
+// GnpSpec builds an Erdős–Rényi random graph G(n, p) per replication.
+type GnpSpec struct {
+	N int
+	P float64
+}
+
+// Build implements TopologySpec.
+func (s GnpSpec) Build(rep int, rng *Rand) (Topology, error) {
+	g, err := graph.Gnp(s.N, s.P, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	return Static(g), nil
+}
+
+// HypercubeSpec builds the Dim-dimensional hypercube on 2^Dim nodes. The
+// construction is deterministic; replications differ only in their run
+// randomness.
+type HypercubeSpec struct {
+	Dim int
+}
+
+// Build implements TopologySpec.
+func (s HypercubeSpec) Build(int, *Rand) (Topology, error) {
+	g, err := graph.Hypercube(s.Dim)
+	if err != nil {
+		return nil, err
+	}
+	return Static(g), nil
+}
+
+// TorusSpec builds the Rows×Cols 2D torus (4-regular). The construction
+// is deterministic; replications differ only in their run randomness.
+type TorusSpec struct {
+	Rows, Cols int
+}
+
+// Build implements TopologySpec.
+func (s TorusSpec) Build(int, *Rand) (Topology, error) {
+	g, err := graph.Torus(s.Rows, s.Cols)
+	if err != nil {
+		return nil, err
+	}
+	return Static(g), nil
+}
+
+// OverlaySpec builds the paper's headline setting: a maintained d-regular
+// peer-to-peer overlay, optionally churning between rounds. Each
+// replication gets a fresh overlay of N alive peers of even degree D
+// (seeded from an exact random d-regular graph) with Headroom spare id
+// slots for joins (0 means N). When any churn parameter is set, a churner
+// drives Binomial(alive, LeaveProb) departures and Binomial(alive,
+// JoinProb) arrivals plus MixSteps switch-chain rewiring steps after
+// every round, and the topology implements Stepper.
+//
+// The overlay maintains an epoch-stamped CSR view incrementally under
+// Join/Leave/Mix, so runs on it — churning or not — execute on the
+// engines' zero-interface fast path, bit-identical to the reference
+// interface path (see DESIGN.md, "Topology specs and the epoch
+// contract").
+type OverlaySpec struct {
+	N, D     int
+	Headroom int
+
+	JoinProb  float64
+	LeaveProb float64
+	MixSteps  int
+}
+
+// churns reports whether the spec attaches a churner.
+func (s OverlaySpec) churns() bool {
+	return s.JoinProb > 0 || s.LeaveProb > 0 || s.MixSteps > 0
+}
+
+// overlayTopology is a built OverlaySpec: the overlay plus its churner.
+// It exposes the overlay's whole API (CheckInvariants, Snapshot, ...)
+// through the embedded pointer, and phonecall's CSRViewer/AliveCounter
+// with it.
+type overlayTopology struct {
+	*overlay.Overlay
+	ch *overlay.Churner
+}
+
+// Step implements Stepper.
+func (o overlayTopology) Step(round int) []int { return o.ch.Step(round) }
+
+var (
+	_ Stepper             = overlayTopology{}
+	_ phonecall.CSRViewer = overlayTopology{}
+)
+
+// Build implements TopologySpec: one rng.Split() seeds the overlay, a
+// second the churner (drawn even when no churner is attached, so the
+// stream shape does not depend on the churn parameters).
+func (s OverlaySpec) Build(rep int, rng *Rand) (Topology, error) {
+	headroom := s.Headroom
+	if headroom == 0 {
+		headroom = s.N
+	}
+	ovRNG, chRNG := rng.Split(), rng.Split()
+	ov, err := overlay.New(s.N, s.D, headroom, ovRNG)
+	if err != nil {
+		return nil, fmt.Errorf("regcast: OverlaySpec: %w", err)
+	}
+	if !s.churns() {
+		return ov, nil
+	}
+	ch, err := overlay.NewChurner(ov, s.JoinProb, s.LeaveProb, s.MixSteps, chRNG)
+	if err != nil {
+		return nil, fmt.Errorf("regcast: OverlaySpec: %w", err)
+	}
+	return overlayTopology{ov, ch}, nil
+}

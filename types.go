@@ -22,6 +22,12 @@ type (
 	Topology = phonecall.Topology
 	// Stepper marks topologies that churn between rounds.
 	Stepper = phonecall.Stepper
+	// CSRViewer marks topologies that expose an epoch-stamped CSR view —
+	// the contract behind the engines' zero-interface fast path. Static
+	// graphs and OverlaySpec topologies implement it; custom topologies
+	// can too (see the documentation on phonecall.CSRViewer for the
+	// epoch and liveness-bitset rules).
+	CSRViewer = phonecall.CSRViewer
 	// DialStrategy selects the neighbour-selection discipline.
 	DialStrategy = phonecall.DialStrategy
 	// RoundStats carries the per-round metrics streamed to observers and
