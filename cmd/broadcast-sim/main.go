@@ -7,9 +7,13 @@
 //
 //	broadcast-sim -n 4096 -d 8 -protocol fourchoice -seed 1 -trace
 //	broadcast-sim -n 1000000 -d 16 -protocol push -workers -1   # sharded engine
+//	broadcast-sim -scheduler interactions -n 1024 -trace        # population demo
 //
 // Protocols: fourchoice (auto variant), algorithm1, algorithm2, seq
-// (sequentialised four-choice), push, pull, pushpull.
+// (sequentialised four-choice), push, pull, pushpull. With
+// -scheduler interactions the command instead runs the self-stabilizing
+// leader-election population protocol on an -n agent clique from the
+// all-leaders adversarial start, tracing super-steps.
 package main
 
 import (
@@ -47,6 +51,9 @@ func run() error {
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		return err
+	}
+	if common.Scheduler() == regcast.SchedulerInteractions {
+		return runPopulation(*n, *trace, common)
 	}
 
 	master := common.Rand()
@@ -127,4 +134,53 @@ func run() error {
 	fmt.Printf("transmissions: %d (%.2f per node)\n", res.Transmissions, float64(res.Transmissions)/float64(*n))
 	fmt.Printf("channels dialled: %d\n", res.ChannelsDialed)
 	return nil
+}
+
+// runPopulation is the -scheduler interactions path: one leader-election
+// run on an n-agent clique from the all-leaders adversarial start,
+// honouring -seed, -workers and -trace.
+func runPopulation(n int, trace bool, common *regcast.CommonFlags) error {
+	le, err := regcast.NewLeaderElection(n)
+	if err != nil {
+		return err
+	}
+	sc := regcast.PopulationScenario{
+		N:    n,
+		Pair: le,
+		Init: regcast.InitAllLeaders,
+		Seed: common.Seed,
+	}
+	fmt.Printf("population: %s on an n=%d clique, all-leaders start\n", le.Name(), n)
+	var fractions []float64
+	if trace {
+		fmt.Println(" step  interactions  changed  leaders")
+		sc.Observer = superStepPrinter{n: n, fractions: &fractions}
+	}
+	res, err := regcast.RunPopulation(context.Background(), sc, common.RunnerOptions()...)
+	if err != nil {
+		return err
+	}
+	if trace && len(fractions) > 1 {
+		if chart, err := viz.Chart(64, 12, viz.Series{Name: "leader fraction", Values: fractions}); err == nil {
+			fmt.Println()
+			fmt.Print(chart)
+		}
+	}
+	fmt.Printf("converged: %v (final leaders %d)\n", res.Converged, res.Measure)
+	if res.Converged {
+		fmt.Printf("convergence: super-step %d after %d interactions\n", res.ConvergedAt, res.ConvergedInteractions)
+	}
+	fmt.Printf("total: %d super-steps, %d interactions\n", res.Steps, res.Interactions)
+	return nil
+}
+
+// superStepPrinter streams the population trace as the engine produces it.
+type superStepPrinter struct {
+	n         int
+	fractions *[]float64
+}
+
+func (p superStepPrinter) OnSuperStep(s regcast.SuperStepStats) {
+	fmt.Printf("%5d  %12d  %7d  %7d\n", s.Step, s.Interactions, s.Changed, s.Measure)
+	*p.fractions = append(*p.fractions, float64(s.Measure)/float64(p.n))
 }

@@ -9,6 +9,7 @@
 //	experiments -markdown        # GitHub-flavoured Markdown output
 //	experiments -workers -1      # each broadcast on the sharded engine
 //	experiments -rep-workers -1  # replication ensembles on a GOMAXPROCS pool
+//	experiments -scheduler interactions  # the population-protocol family (E21+)
 //
 // -workers parallelises inside one run (sharding), -rep-workers across
 // whole runs (the batch layer); the two compose, and neither changes any
@@ -55,7 +56,15 @@ func run() error {
 
 	var selected []experiments.Experiment
 	if *runIDs == "" {
-		selected = experiments.All()
+		// The default selection follows the -scheduler flag: the rounds
+		// family is E1–E20 (the paper's theorems), the interactions family
+		// E21+ (the population-protocol experiments). An explicit -run
+		// bypasses the filter.
+		for _, e := range experiments.All() {
+			if e.Scheduler == common.Scheduler() {
+				selected = append(selected, e)
+			}
+		}
 	} else {
 		for _, id := range strings.Split(*runIDs, ",") {
 			id = strings.TrimSpace(id)

@@ -141,12 +141,67 @@ type cellDefaults struct {
 	proto protoFactory
 }
 
+// popWorkload is one value of the populations grid's workload axis: a
+// population protocol at a concrete size (leader election on an n-clique,
+// or Herman's ring with k initial tokens).
+type popWorkload struct {
+	kind   string // "leader" | "herman"
+	n      int
+	tokens int // herman only: initial equally-spaced tokens
+}
+
+// buildPopulationCell is the populations grid's BuildPopulation: it
+// realises the cell's workload as a PopulationBatch whose convergence
+// metrics fold into the standard regcast.bench/v1 cells (rounds = mean
+// convergence super-step, transmissions = interactions to convergence).
+func buildPopulationCell(p regcast.Point) (regcast.PopulationBatch, error) {
+	w := p.Value("workload").(popWorkload)
+	sc := regcast.PopulationScenario{N: w.n, Seed: p.Seed}
+	switch w.kind {
+	case "leader":
+		le, err := regcast.NewLeaderElection(w.n)
+		if err != nil {
+			return regcast.PopulationBatch{}, err
+		}
+		sc.Pair, sc.Init = le, regcast.InitAllLeaders
+	case "herman":
+		hm, err := regcast.NewHermanRing(w.n)
+		if err != nil {
+			return regcast.PopulationBatch{}, err
+		}
+		init, err := regcast.HermanInitTokens(w.n, w.tokens)
+		if err != nil {
+			return regcast.PopulationBatch{}, err
+		}
+		sc.Ring, sc.Init = hm, init
+	default:
+		return regcast.PopulationBatch{}, fmt.Errorf("unknown population workload %q", w.kind)
+	}
+	return regcast.PopulationBatch{Scenario: sc}, nil
+}
+
+// populationAxis builds the populations grid's workload axis: a
+// leader-election n-sweep followed by a Herman token-count sweep.
+func populationAxis(leaderNs []int, hermanN int, tokens []int) regcast.Axis {
+	ax := regcast.Axis{Name: "workload"}
+	for _, n := range leaderNs {
+		ax.Values = append(ax.Values, regcast.Val(fmt.Sprintf("leader-n%d", n),
+			popWorkload{kind: "leader", n: n}))
+	}
+	for _, k := range tokens {
+		ax.Values = append(ax.Values, regcast.Val(fmt.Sprintf("herman-n%d-k%d", hermanN, k),
+			popWorkload{kind: "herman", n: hermanN, tokens: k}))
+	}
+	return ax
+}
+
 // grid describes one named sweep preset.
 type grid struct {
 	about string
 	reps  int // default replication count
 	axes  []regcast.Axis
 	def   cellDefaults
+	pop   bool // population grid: cells build PopulationBatches
 }
 
 // grids are the named presets. "ci" is deliberately small: it is the
@@ -211,6 +266,37 @@ var grids = map[string]grid{
 		axes:  []regcast.Axis{regcast.ChurnAxis(0, 0.002, 0.01, 0.02), protoAxis("algorithm1")},
 		def:   cellDefaults{n: 1 << 11, d: 8, proto: protocols["algorithm1"]},
 	},
+	"populations": {
+		// The interaction-scheduler grid: convergence metrics instead of
+		// broadcast metrics (rounds = mean convergence super-step,
+		// transmissions = interactions to convergence), same report schema.
+		about: "population protocols: leader-election n-sweep + Herman token sweep",
+		reps:  5,
+		axes: []regcast.Axis{populationAxis(
+			[]int{1 << 8, 1 << 9, 1 << 10, 1 << 11},
+			101, []int{3, 5, 9, 17})},
+		pop: true,
+	},
+}
+
+// newSweep assembles the Sweep a named grid describes — factored out of
+// run() so tests can execute grids directly with chosen pool widths.
+func newSweep(name string, g grid, seed uint64, replications, repWorkers int, runner regcast.Runner, timing bool) regcast.Sweep {
+	sweep := regcast.Sweep{
+		Name:               name,
+		Seed:               seed,
+		Axes:               g.axes,
+		Replications:       replications,
+		ReplicationWorkers: repWorkers,
+		Runner:             runner,
+		Timing:             timing,
+	}
+	if g.pop {
+		sweep.BuildPopulation = buildPopulationCell
+	} else {
+		sweep.Build = func(p regcast.Point) (regcast.Batch, error) { return buildCell(p, g.def) }
+	}
+	return sweep
 }
 
 func gridNames() string {
@@ -267,16 +353,7 @@ func run() error {
 		replications = *reps
 	}
 
-	sweep := regcast.Sweep{
-		Name:               *gridName,
-		Seed:               common.Seed,
-		Axes:               g.axes,
-		Replications:       replications,
-		ReplicationWorkers: *repWork,
-		Runner:             common.Runner(),
-		Timing:             *timing,
-		Build:              func(p regcast.Point) (regcast.Batch, error) { return buildCell(p, g.def) },
-	}
+	sweep := newSweep(*gridName, g, common.Seed, replications, *repWork, common.Runner(), *timing)
 	report, err := sweep.Run(context.Background())
 	if err != nil {
 		return err

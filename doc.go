@@ -46,6 +46,20 @@
 // bit-identical for every ReplicationWorkers value; replication-level
 // parallelism composes with the sharded engine's per-run workers.
 //
+// The phone-call rounds above are one Scheduler (SchedulerRounds); the
+// facade also ships SchedulerInteractions, the population-protocol
+// model, where time advances one uniformly random pairwise interaction
+// at a time (internal/population): describe an ensemble of agents as a
+// PopulationScenario (a PairProtocol such as NewLeaderElection, or a
+// RingProtocol such as NewHermanRing) and execute it with
+// RunPopulation; PopulationBatch folds convergence ensembles into the
+// same BatchResult the broadcast batches produce, so Sweep (via
+// BuildPopulation) and cmd/regcast-bench grid them unchanged. Both
+// scheduler families run on the shared deterministic sharded
+// super-step contract (internal/sched) — fixed shard count, per-shard
+// split PRNG streams, shard-order merge — so traces are bit-identical
+// for every worker count.
+//
 // Behind the facade: the four-choice phased broadcast protocols
 // (internal/core), the random phone call simulator with its sharded
 // parallel round engine (internal/phonecall), random-regular-graph

@@ -17,15 +17,23 @@ type CommonFlags struct {
 	// engine, -1 = sharded engine with GOMAXPROCS workers, n >= 1 =
 	// sharded engine with n workers.
 	Workers int
+	// SchedulerName is the raw -scheduler value ("rounds" or
+	// "interactions"); Validate parses it and Scheduler returns the
+	// typed selection.
+	SchedulerName string
+
+	scheduler Scheduler
 }
 
-// AddCommonFlags registers the canonical -seed/-workers flags on fs and
-// returns the struct their parsed values land in.
+// AddCommonFlags registers the canonical -seed/-workers/-scheduler flags
+// on fs and returns the struct their parsed values land in.
 func AddCommonFlags(fs *flag.FlagSet) *CommonFlags {
 	f := &CommonFlags{}
 	fs.Uint64Var(&f.Seed, "seed", 1, "master random seed (topology and runs derive from it)")
 	fs.IntVar(&f.Workers, "workers", 0,
 		"engine workers: 0 = classic sequential engine, -1 = GOMAXPROCS (sharded), n = n workers (sharded)")
+	fs.StringVar(&f.SchedulerName, "scheduler", SchedulerRounds.String(),
+		"engine family: rounds = phone-call round model, interactions = population-protocol pairwise interactions")
 	return f
 }
 
@@ -34,8 +42,17 @@ func (f *CommonFlags) Validate() error {
 	if f.Workers < WorkersAuto {
 		return fmt.Errorf("-workers %d invalid (use -1, 0 or a positive count)", f.Workers)
 	}
+	s, err := ParseScheduler(f.SchedulerName)
+	if err != nil {
+		return fmt.Errorf("-scheduler %q invalid (use rounds or interactions)", f.SchedulerName)
+	}
+	f.scheduler = s
 	return nil
 }
+
+// Scheduler returns the engine family the -scheduler flag selected;
+// call Validate first.
+func (f *CommonFlags) Scheduler() Scheduler { return f.scheduler }
 
 // Rand returns the master RNG derived from -seed; Split it per consumer.
 func (f *CommonFlags) Rand() *Rand { return NewRand(f.Seed) }

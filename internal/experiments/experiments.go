@@ -63,6 +63,11 @@ type Experiment struct {
 	Title string
 	// PaperClaim states what the paper predicts, for the report header.
 	PaperClaim string
+	// Scheduler is the engine family the experiment exercises: the
+	// phone-call round model (the zero value, every paper theorem) or the
+	// population-protocol interaction model (E21+). cmd/experiments uses
+	// it to filter the default selection by the -scheduler flag.
+	Scheduler regcast.Scheduler
 	// Run executes the experiment and returns its result tables.
 	Run func(o Options) ([]*table.Table, error)
 }

@@ -1,19 +1,18 @@
 package phonecall
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"regcast/internal/sched"
 )
 
 // WorkersAuto, given as Config.Workers, selects GOMAXPROCS worker
 // goroutines for the sharded engine.
-const WorkersAuto = -1
+const WorkersAuto = sched.WorkersAuto
 
-// DefaultShards is the shard count used when Config.Shards is 0. It is a
-// fixed constant — deliberately NOT tied to GOMAXPROCS — so that a run's
-// trace depends only on (seed, topology, protocol, shard count) and is
-// reproducible across machines and worker counts.
+// DefaultShards is the shard count used when Config.Shards is 0. It comes
+// from the shared scheduler substrate (internal/sched): a fixed constant —
+// deliberately NOT tied to GOMAXPROCS — so that a run's trace depends only
+// on (seed, topology, protocol, shard count) and is reproducible across
+// machines and worker counts.
 //
 // Determinism scope: "the sequential path" of the sharded engine is
 // Workers == 1 (the same shard passes executed inline), and that is what
@@ -24,7 +23,7 @@ const WorkersAuto = -1
 // (TestShardedEquivalentStatistics) instead. Per-shard streams are what
 // make worker-count independence possible at all — a single shared
 // stream would make the draw order depend on goroutine scheduling.
-const DefaultShards = 64
+const DefaultShards = sched.DefaultShards
 
 // parShard is one node partition of the sharded engine. A shard owns the
 // contiguous node range [lo, hi), its own PRNG stream (derived
@@ -51,19 +50,11 @@ func (e *Engine) initShards() {
 	if nShards == 0 {
 		nShards = DefaultShards
 	}
-	w := e.cfg.Workers
-	if w == WorkersAuto {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > nShards {
-		w = nShards
-	}
-	e.workers = w
+	e.workers = sched.Resolve(e.cfg.Workers, nShards)
 	e.shards = make([]parShard, nShards)
 	for i := range e.shards {
 		sh := &e.shards[i]
-		sh.lo = i * e.n / nShards
-		sh.hi = (i + 1) * e.n / nShards
+		sh.lo, sh.hi = sched.Bounds(i, e.n, nShards)
 		sh.ds = newDialState(e.cfg.RNG.Split(), e.k)
 	}
 	e.roundCount = make([]int64, e.proto.Horizon()+1)
@@ -205,26 +196,13 @@ func (e *Engine) runShardPasses(t int, anyPush, anyPull, dialAll bool) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(e.workers)
-	for w := 0; w < e.workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(e.shards) {
-					return
-				}
-				if e.fast {
-					e.shardPassFast(&e.shards[i], t, anyPush, anyPull, dialAll)
-				} else {
-					e.shardPass(&e.shards[i], t, anyPush, anyPull, dialAll)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	sched.Pool(e.workers, len(e.shards), func(i int) {
+		if e.fast {
+			e.shardPassFast(&e.shards[i], t, anyPush, anyPull, dialAll)
+		} else {
+			e.shardPass(&e.shards[i], t, anyPush, anyPull, dialAll)
+		}
+	})
 }
 
 // shardPass runs one round for the nodes a shard owns: dial sampling,

@@ -1,0 +1,427 @@
+// Package population implements the pairwise-interaction (population
+// protocol) engine family: anonymous agents with a small state space,
+// advanced either by uniform random ordered pairs (the classic
+// population-protocol scheduler, PairProtocol) or by synchronous ring
+// steps (RingProtocol, for Herman-style self-stabilizing rings).
+//
+// The engine is the second instance of the repository's deterministic
+// sharded super-step contract (internal/sched; the first is the
+// phone-call round engine in internal/phonecall). Interactions are
+// batched into super-steps of Config.BatchSize pairs; each super-step
+// partitions its interaction quota over Config.Shards shards, each shard
+// draws its pairs and coin words from its own split PRNG stream
+// concurrently, and the drawn interactions are then applied to the
+// configuration sequentially in shard order by the coordinating
+// goroutine. Pair draws are state-independent, so the parallel drawing
+// phase cannot observe — and therefore cannot depend on — the order in
+// which transitions are applied. The consequence is stronger than in the
+// phone-call engine: the sequential driver (Workers 0 or 1, shard passes
+// inline) and the sharded driver execute the *same* trace, bit-identical
+// for every worker count at a fixed shard count.
+//
+// The ring driver keeps the same shape with a synchronous twist: each
+// super-step is one simultaneous update of all n agents, double-buffered
+// so shard passes write disjoint ranges of the next configuration, with
+// coin words drawn from the shard's own stream only at positions where
+// RingProtocol.NeedsCoin reports a coin flip.
+//
+// A run halts when the protocol's progress measure reaches 1 and stays
+// there for SilenceWindow consecutive super-steps (Converged), when no
+// agent state changes for SilenceWindow consecutive super-steps (a
+// silent configuration, Silent), at MaxSteps, or when Config.Halt asks.
+package population
+
+import (
+	"errors"
+	"math/bits"
+
+	"regcast/internal/sched"
+	"regcast/internal/xrand"
+)
+
+// State is one agent's state word. Protocols pack their fields into it;
+// population-protocol state spaces are small by definition, and 32 bits
+// keep the configuration slice compact and the double buffer cheap.
+type State = uint32
+
+// PairProtocol is an agent-state machine driven by the uniform
+// random-ordered-pair scheduler: each interaction picks an ordered pair
+// (initiator a, responder b) of distinct agents uniformly at random and
+// replaces their states with Transition(a, b, coin).
+type PairProtocol interface {
+	// Name identifies the protocol in traces and reports.
+	Name() string
+	// Transition maps the (initiator, responder) states to their
+	// successors. coin is a fresh uniform 64-bit word drawn for this
+	// interaction; protocols needing randomness slice bits from it, and
+	// deterministic protocols ignore it (the word is always drawn, so
+	// stream consumption does not depend on the configuration).
+	Transition(a, b State, coin uint64) (State, State)
+	// Measure reports the protocol's progress measure on a
+	// configuration — the number of leaders, tokens, or other witnesses.
+	// The engine declares convergence when Measure reaches 1 and stays
+	// there for Config.SilenceWindow consecutive super-steps.
+	Measure(cfg []State) int
+}
+
+// RingProtocol is an agent-state machine driven by the synchronous ring
+// scheduler: each super-step simultaneously replaces every agent's state
+// with Update(self, pred, coin), where pred is the state of the agent's
+// ring predecessor in the current configuration.
+type RingProtocol interface {
+	// Name identifies the protocol in traces and reports.
+	Name() string
+	// NeedsCoin reports whether this agent flips a coin this step. Coin
+	// words are consumed from the owning shard's stream only when it
+	// returns true, in ascending agent order within the shard.
+	NeedsCoin(self, pred State) bool
+	// Update maps (self, predecessor) to the agent's next state. coin is
+	// a fresh uniform word when NeedsCoin reported true, and zero
+	// otherwise.
+	Update(self, pred State, coin uint64) State
+	// Measure is the progress measure, as for PairProtocol.
+	Measure(cfg []State) int
+}
+
+// SuperStepStats is the per-super-step record streamed to Observers.
+type SuperStepStats struct {
+	Step         int // 1-based super-step index
+	Interactions int // interactions applied this step (BatchSize, or N for rings)
+	Changed      int // agent-state writes that changed a state this step
+	Measure      int // protocol progress measure after this step
+}
+
+// Observer consumes per-super-step statistics online.
+type Observer interface {
+	OnSuperStep(SuperStepStats)
+}
+
+// InteractionObserver is an optional extension of Observer: when the
+// configured Observer also implements it, the pair driver reports every
+// applied interaction, in the deterministic application order. (The ring
+// driver does not emit per-interaction events; its super-step IS the
+// interaction.)
+type InteractionObserver interface {
+	OnInteraction(step, initiator, responder int)
+}
+
+// Config describes one population-protocol run. Exactly one of Pair and
+// Ring must be set; it selects the scheduler.
+type Config struct {
+	N    int          // number of agents
+	Pair PairProtocol // uniform random ordered-pair scheduler
+	Ring RingProtocol // synchronous ring scheduler
+
+	// Init maps an agent index to its initial state; coin is a fresh
+	// uniform word from the run's dedicated init stream. Nil starts every
+	// agent in the zero state. Self-stabilizing protocols are exercised
+	// from adversarial Inits.
+	Init func(i, n int, coin uint64) State
+
+	RNG *xrand.Rand // master stream for the run; nil seeds a default
+
+	MaxSteps      int // super-step budget; 0 selects a per-scheduler default
+	BatchSize     int // pair interactions per super-step; 0 means N
+	SilenceWindow int // consecutive steps confirming convergence/silence; 0 means 3
+
+	Workers int // sched worker goroutines; 0 or 1 inline, WorkersAuto = GOMAXPROCS
+	Shards  int // shard count (fixes the trace); 0 means sched.DefaultShards
+
+	Observer Observer    // optional per-super-step (and per-interaction) hook
+	Halt     func() bool // optional cooperative cancellation, polled per step
+}
+
+// Result summarises one run.
+type Result struct {
+	Steps        int   // super-steps executed
+	Interactions int64 // total interactions applied
+	Measure      int   // final progress measure
+	Converged    bool  // measure reached 1 and held for SilenceWindow steps
+	ConvergedAt  int   // first step of the sustained measure-1 run (-1 if never)
+	// ConvergedInteractions is the cumulative interaction count at
+	// ConvergedAt — the natural convergence-time unit of the
+	// population-protocol literature.
+	ConvergedInteractions int64
+	Silent                bool    // no state changed for SilenceWindow steps
+	Final                 []State // final configuration (owned by the caller)
+}
+
+// DefaultSilenceWindow is the confirmation window used when
+// Config.SilenceWindow is 0: measure 1 (or zero changes) must hold for
+// this many consecutive super-steps before the run halts.
+const DefaultSilenceWindow = 3
+
+// pairDraw is one pre-drawn interaction: the ordered pair and its coin
+// word. Draws are state-independent, which is what lets the drawing
+// phase run concurrently while transitions apply sequentially.
+type pairDraw struct {
+	a, b int32
+	coin uint64
+}
+
+// popShard owns one slice of each super-step's work: a contiguous
+// interaction quota [qlo, qhi) for the pair driver, the contiguous agent
+// range [lo, hi) for the ring driver, and the shard's own PRNG stream.
+type popShard struct {
+	stream   *xrand.Rand
+	qlo, qhi int // interaction quota (pair driver)
+	lo, hi   int // agent range (ring driver)
+	pairs    []pairDraw
+	changed  int
+}
+
+type engine struct {
+	cfg     Config
+	n       int
+	states  []State
+	next    []State // ring double buffer
+	shards  []popShard
+	workers int
+
+	interactions int64
+}
+
+// Run executes one population-protocol run to convergence, silence, or
+// the step budget.
+func Run(cfg Config) (Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.run(), nil
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	if (cfg.Pair == nil) == (cfg.Ring == nil) {
+		return nil, errors.New("population: exactly one of Config.Pair and Config.Ring must be set")
+	}
+	minN := 1
+	if cfg.Pair != nil {
+		minN = 2 // an ordered pair needs two distinct agents
+	}
+	if cfg.N < minN {
+		return nil, errors.New("population: Config.N too small for the selected scheduler")
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = xrand.New(0)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = sched.DefaultShards
+	}
+	if cfg.Shards < 1 {
+		return nil, errors.New("population: Config.Shards must be positive")
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = cfg.N
+	}
+	if cfg.BatchSize < 1 {
+		return nil, errors.New("population: Config.BatchSize must be positive")
+	}
+	if cfg.SilenceWindow == 0 {
+		cfg.SilenceWindow = DefaultSilenceWindow
+	}
+	if cfg.MaxSteps == 0 {
+		if cfg.Pair != nil {
+			// ~256·log2(n) super-steps of BatchSize interactions: a
+			// generous Θ(n log n)-interaction budget at BatchSize = n.
+			cfg.MaxSteps = 256 * bits.Len(uint(cfg.N))
+		} else {
+			// Herman-style rings converge in O(n²) expected steps
+			// (conjectured 4n²/27); 2n² leaves ample slack.
+			cfg.MaxSteps = 2 * cfg.N * cfg.N
+		}
+	}
+
+	e := &engine{cfg: cfg, n: cfg.N}
+	e.states = make([]State, e.n)
+	if cfg.Ring != nil {
+		e.next = make([]State, e.n)
+	}
+
+	// Seeding order is part of the trace contract: the init stream is the
+	// first Split of the master, then shard i's stream is the (i+1)-th.
+	// Neither depends on Workers, so neither does the trace.
+	initStream := cfg.RNG.Split()
+	if cfg.Init != nil {
+		for i := range e.states {
+			e.states[i] = cfg.Init(i, e.n, initStream.Uint64())
+		}
+	}
+	e.shards = make([]popShard, cfg.Shards)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.stream = cfg.RNG.Split()
+		sh.qlo, sh.qhi = sched.Bounds(i, cfg.BatchSize, cfg.Shards)
+		sh.lo, sh.hi = sched.Bounds(i, e.n, cfg.Shards)
+	}
+	e.workers = sched.Resolve(cfg.Workers, cfg.Shards)
+	return e, nil
+}
+
+func (e *engine) measure() int {
+	if e.cfg.Pair != nil {
+		return e.cfg.Pair.Measure(e.states)
+	}
+	return e.cfg.Ring.Measure(e.states)
+}
+
+func (e *engine) run() Result {
+	res := Result{ConvergedAt: -1}
+	window := e.cfg.SilenceWindow
+
+	// runLen counts consecutive super-steps (the initial configuration
+	// counts as step 0) at measure 1; quiet counts consecutive steps with
+	// no state change.
+	runLen, quiet := 0, 0
+	runStartStep := 0
+	var runStartInteractions int64
+	if e.measure() == 1 {
+		runLen = 1
+	}
+
+	for step := 1; step <= e.cfg.MaxSteps; step++ {
+		var inter, changed int
+		if e.cfg.Pair != nil {
+			inter, changed = e.pairStep(step)
+		} else {
+			inter, changed = e.ringStep()
+		}
+		e.interactions += int64(inter)
+		res.Steps = step
+
+		m := e.measure()
+		if obs := e.cfg.Observer; obs != nil {
+			obs.OnSuperStep(SuperStepStats{Step: step, Interactions: inter, Changed: changed, Measure: m})
+		}
+
+		if m == 1 {
+			if runLen == 0 {
+				runStartStep = step
+				runStartInteractions = e.interactions
+			}
+			runLen++
+		} else {
+			runLen = 0
+		}
+		if changed == 0 {
+			quiet++
+		} else {
+			quiet = 0
+		}
+
+		if runLen >= window {
+			res.Converged = true
+			break
+		}
+		if quiet >= window {
+			res.Silent = true
+			// A silent configuration at measure 1 is converged forever,
+			// even if the measure-1 run is younger than the window.
+			res.Converged = runLen > 0
+			break
+		}
+		if e.cfg.Halt != nil && e.cfg.Halt() {
+			break
+		}
+	}
+
+	if res.Converged {
+		res.ConvergedAt = runStartStep
+		res.ConvergedInteractions = runStartInteractions
+	}
+	res.Interactions = e.interactions
+	res.Measure = e.measure()
+	res.Final = e.states
+	return res
+}
+
+// pairStep runs one super-step of the pair driver: every shard draws its
+// interaction quota from its own stream (concurrently when Workers > 1),
+// then the coordinator applies all drawn transitions sequentially in
+// shard order. Because draws are state-independent, both phases produce
+// the same trace at every worker count.
+func (e *engine) pairStep(step int) (interactions, changed int) {
+	if e.workers <= 1 {
+		for i := range e.shards {
+			e.drawPairs(&e.shards[i])
+		}
+	} else {
+		sched.Pool(e.workers, len(e.shards), func(i int) { e.drawPairs(&e.shards[i]) })
+	}
+
+	iobs, _ := e.cfg.Observer.(InteractionObserver)
+	proto := e.cfg.Pair
+	for i := range e.shards {
+		for _, d := range e.shards[i].pairs {
+			sa, sb := e.states[d.a], e.states[d.b]
+			na, nb := proto.Transition(sa, sb, d.coin)
+			if na != sa {
+				e.states[d.a] = na
+				changed++
+			}
+			if nb != sb {
+				e.states[d.b] = nb
+				changed++
+			}
+			interactions++
+			if iobs != nil {
+				iobs.OnInteraction(step, int(d.a), int(d.b))
+			}
+		}
+	}
+	return interactions, changed
+}
+
+// drawPairs fills a shard's pre-drawn interaction buffer: ordered pairs
+// of distinct agents, uniform over the n·(n−1) possibilities, plus one
+// coin word each — all from the shard's own stream.
+func (e *engine) drawPairs(sh *popShard) {
+	sh.pairs = sh.pairs[:0]
+	n := e.n
+	for j := sh.qlo; j < sh.qhi; j++ {
+		a := sh.stream.IntN(n)
+		b := sh.stream.IntN(n - 1)
+		if b >= a {
+			b++
+		}
+		sh.pairs = append(sh.pairs, pairDraw{a: int32(a), b: int32(b), coin: sh.stream.Uint64()})
+	}
+}
+
+// ringStep runs one synchronous ring super-step: each shard computes the
+// next state of its own agent range into the double buffer (disjoint
+// writes, so passes may run concurrently), drawing coin words from its
+// stream only where the protocol flips one; then the buffers swap.
+func (e *engine) ringStep() (interactions, changed int) {
+	if e.workers <= 1 {
+		for i := range e.shards {
+			e.ringPass(&e.shards[i])
+		}
+	} else {
+		sched.Pool(e.workers, len(e.shards), func(i int) { e.ringPass(&e.shards[i]) })
+	}
+	for i := range e.shards {
+		changed += e.shards[i].changed
+	}
+	e.states, e.next = e.next, e.states
+	return e.n, changed
+}
+
+func (e *engine) ringPass(sh *popShard) {
+	proto := e.cfg.Ring
+	n := e.n
+	sh.changed = 0
+	for v := sh.lo; v < sh.hi; v++ {
+		self := e.states[v]
+		pred := e.states[(v-1+n)%n]
+		var coin uint64
+		if proto.NeedsCoin(self, pred) {
+			coin = sh.stream.Uint64()
+		}
+		nv := proto.Update(self, pred, coin)
+		e.next[v] = nv
+		if nv != self {
+			sh.changed++
+		}
+	}
+}

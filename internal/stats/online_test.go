@@ -187,3 +187,58 @@ func TestStreamHistEmpty(t *testing.T) {
 		t.Error("empty sketch quantile not NaN")
 	}
 }
+
+func TestHalfWidth(t *testing.T) {
+	var a Accumulator
+	// Known z-quantiles: 1.959964 (95%), 1.644854 (90%), 2.575829 (99%).
+	for _, tc := range []struct{ conf, z float64 }{
+		{0.95, 1.959964}, {0.90, 1.644854}, {0.99, 2.575829},
+	} {
+		if got := zQuantile((1 + tc.conf) / 2); math.Abs(got-tc.z) > 1e-5 {
+			t.Fatalf("zQuantile for conf %v = %v, want %v", tc.conf, got, tc.z)
+		}
+	}
+
+	if hw := a.HalfWidth(0.95); !math.IsInf(hw, 1) {
+		t.Fatalf("empty accumulator HalfWidth = %v, want +Inf", hw)
+	}
+	a.Add(3)
+	if hw := a.HalfWidth(0.95); !math.IsInf(hw, 1) {
+		t.Fatalf("single-sample HalfWidth = %v, want +Inf", hw)
+	}
+
+	// 100 samples with stddev s: half-width must equal z·s/10.
+	a = Accumulator{}
+	for i := 0; i < 100; i++ {
+		a.Add(float64(i % 10)) // mean 4.5, known variance
+	}
+	want := 1.959964 * a.Stddev() / 10
+	if got := a.HalfWidth(0.95); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("HalfWidth(0.95) = %v, want %v", got, want)
+	}
+	// Wider confidence must widen the interval.
+	if !(a.HalfWidth(0.99) > a.HalfWidth(0.95) && a.HalfWidth(0.95) > a.HalfWidth(0.90)) {
+		t.Fatal("HalfWidth is not monotone in the confidence level")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HalfWidth accepted a confidence level outside (0, 1)")
+		}
+	}()
+	a.HalfWidth(1.0)
+}
+
+func TestHalfWidthShrinksWithN(t *testing.T) {
+	var small, large Accumulator
+	for i := 0; i < 16; i++ {
+		small.Add(float64(i % 4))
+	}
+	for i := 0; i < 1024; i++ {
+		large.Add(float64(i % 4))
+	}
+	if !(large.HalfWidth(0.95) < small.HalfWidth(0.95)/4) {
+		t.Fatalf("half-width did not shrink ~1/sqrt(n): n=16 %v vs n=1024 %v",
+			small.HalfWidth(0.95), large.HalfWidth(0.95))
+	}
+}

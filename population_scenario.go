@@ -1,0 +1,160 @@
+package regcast
+
+import (
+	"context"
+	"fmt"
+
+	"regcast/internal/population"
+)
+
+// Population-protocol facade: the SchedulerInteractions counterpart of
+// Scenario/Run. A PopulationScenario describes one run of an
+// agent-state machine under the uniform random-pair scheduler (or the
+// synchronous ring scheduler), and Runner.RunPopulation executes it on
+// the same engine selection the phone-call scenarios use —
+// EngineSequential and EngineSharded produce bit-identical traces here,
+// because population pair draws are state-independent (see
+// internal/population).
+
+// Facade aliases for the population engine's vocabulary.
+type (
+	// PopulationState is one agent's packed state word.
+	PopulationState = population.State
+	// PairProtocol is an agent-state machine under uniform random ordered
+	// pairs; see internal/population.
+	PairProtocol = population.PairProtocol
+	// RingProtocol is an agent-state machine under synchronous ring steps.
+	RingProtocol = population.RingProtocol
+	// SuperStepStats is the per-super-step record streamed to observers.
+	SuperStepStats = population.SuperStepStats
+	// PopulationObserver consumes per-super-step statistics online.
+	PopulationObserver = population.Observer
+	// InteractionObserver optionally extends PopulationObserver with
+	// per-interaction events from the pair driver.
+	InteractionObserver = population.InteractionObserver
+	// PopulationResult summarises one population run.
+	PopulationResult = population.Result
+	// LeaderElection is the self-stabilizing ranked-timeout leader
+	// election protocol (uniform pairs on the clique).
+	LeaderElection = population.LeaderElection
+	// HermanRing is Herman's self-stabilizing token ring (synchronous
+	// coin-flip variant).
+	HermanRing = population.Herman
+)
+
+// NewLeaderElection builds the self-stabilizing leader-election protocol
+// for an n-agent clique.
+func NewLeaderElection(n int) (*LeaderElection, error) {
+	return population.NewLeaderElection(n)
+}
+
+// NewHermanRing builds Herman's token ring for an odd n-agent ring.
+func NewHermanRing(n int) (*HermanRing, error) {
+	return population.NewHerman(n)
+}
+
+// InitAllLeaders is the canonical adversarial start for leader election:
+// every agent a leader with a distinct rank.
+func InitAllLeaders(i, n int, coin uint64) PopulationState {
+	return population.InitAllLeaders(i, n, coin)
+}
+
+// InitLeaderless is the canonical adversarial start for leader election:
+// no leaders, expired timers.
+func InitLeaderless(i, n int, coin uint64) PopulationState {
+	return population.InitLeaderless(i, n, coin)
+}
+
+// InitPoisoned is the worst-case leader-election start: leaderless with
+// every max-seen value poisoned to the top of the rank space.
+func InitPoisoned(i, n int, coin uint64) PopulationState {
+	return population.InitPoisoned(i, n, coin)
+}
+
+// HermanInitTokens builds an adversarial Herman start with exactly k
+// equally spaced tokens on an n-ring (k odd; k = 3 is the conjectured
+// worst case).
+func HermanInitTokens(n, k int) (func(i, n int, coin uint64) PopulationState, error) {
+	return population.InitTokens(n, k)
+}
+
+// PopulationScenario describes one population-protocol run: the agent
+// count, the protocol (exactly one of Pair and Ring), an optional
+// adversarial initial configuration, and the run's seed and budgets.
+// The zero values of the budget fields select the engine defaults
+// documented on population.Config.
+type PopulationScenario struct {
+	// N is the number of agents.
+	N int
+	// Pair selects the uniform random ordered-pair scheduler.
+	Pair PairProtocol
+	// Ring selects the synchronous ring scheduler.
+	Ring RingProtocol
+	// Init maps an agent index to its initial state (nil = zero states);
+	// coin is a fresh word from the run's init stream.
+	Init func(i, n int, coin uint64) PopulationState
+	// Seed is the run's master seed.
+	Seed uint64
+	// RNG, when non-nil, overrides Seed with an explicit master stream —
+	// the hook PopulationBatch uses to inject per-replication streams.
+	// Runs sharing an RNG value are not independent; prefer Seed.
+	RNG *Rand
+	// MaxSteps, BatchSize and SilenceWindow bound the run; zero selects
+	// the defaults documented on population.Config.
+	MaxSteps      int
+	BatchSize     int
+	SilenceWindow int
+	// Observer receives per-super-step statistics (and, if it also
+	// implements InteractionObserver, per-interaction events).
+	Observer PopulationObserver
+}
+
+// RunPopulation executes one population scenario on the simulation
+// engines. EngineSequential runs the shard passes inline;
+// EngineSharded runs them on the worker pool; both execute the same
+// trace, bit-identical for every worker count at a fixed shard count.
+// Other engines reject the scenario. Cancelling ctx stops the run at
+// the next super-step boundary and returns ctx.Err() alongside the
+// partial result.
+func (r Runner) RunPopulation(ctx context.Context, s PopulationScenario) (PopulationResult, error) {
+	var workers int
+	switch r.engine {
+	case EngineSequential:
+		workers = 0
+	case EngineSharded:
+		workers = r.workers
+		if workers == 0 {
+			workers = WorkersAuto
+		}
+	default:
+		return PopulationResult{}, fmt.Errorf("regcast: the %v engine cannot run population scenarios (use EngineSequential or EngineSharded)", r.engine)
+	}
+	rng := s.RNG
+	if rng == nil {
+		rng = NewRand(s.Seed)
+	}
+	res, err := population.Run(population.Config{
+		N:             s.N,
+		Pair:          s.Pair,
+		Ring:          s.Ring,
+		Init:          s.Init,
+		RNG:           rng,
+		MaxSteps:      s.MaxSteps,
+		BatchSize:     s.BatchSize,
+		SilenceWindow: s.SilenceWindow,
+		Workers:       workers,
+		Shards:        r.shards,
+		Observer:      s.Observer,
+		Halt:          haltFor(ctx),
+	})
+	if err != nil {
+		return PopulationResult{}, err
+	}
+	return res, ctxErr(ctx)
+}
+
+// RunPopulation executes the scenario with default runner options — the
+// sequential driver unless opts say otherwise.
+func RunPopulation(ctx context.Context, s PopulationScenario, opts ...RunnerOption) (PopulationResult, error) {
+	return NewRunner(opts...).RunPopulation(ctx, s)
+}
