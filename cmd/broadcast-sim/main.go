@@ -7,6 +7,7 @@
 //
 //	broadcast-sim -n 4096 -d 8 -protocol fourchoice -seed 1 -trace
 //	broadcast-sim -n 1000000 -d 16 -protocol push -workers -1   # sharded engine
+//	broadcast-sim -topology hypercube:dim=27 -protocol push -stop-early -mem
 //	broadcast-sim -scheduler interactions -n 1024 -trace        # population demo
 //
 // Protocols: fourchoice (auto variant), algorithm1, algorithm2, seq
@@ -14,6 +15,11 @@
 // -scheduler interactions the command instead runs the self-stabilizing
 // leader-election population protocol on an -n agent clique from the
 // all-leaders adversarial start, tracing super-steps.
+//
+// The shared -topology flag overrides -n/-d with any parseable topology
+// spec (regcast.ParseTopologySpec); implicit families (hypercube, torus,
+// gnp-stream, regular-stream) never materialise adjacency, which is what
+// makes 100M+-node runs fit one box.
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"regcast"
 	"regcast/internal/baseline"
@@ -37,16 +45,18 @@ func main() {
 
 func run() error {
 	var (
-		n        = flag.Int("n", 4096, "number of nodes")
-		d        = flag.Int("d", 8, "degree of the random regular graph")
-		protoSel = flag.String("protocol", "fourchoice", "protocol: fourchoice|algorithm1|algorithm2|seq|push|pull|pushpull")
-		alpha    = flag.Float64("alpha", core.DefaultAlpha, "phase-length constant α for the four-choice schedules")
-		choices  = flag.Int("choices", core.Choices, "dials per round for the four-choice schedules (ablation)")
-		failure  = flag.Float64("failure", 0, "channel establishment failure probability")
-		loss     = flag.Float64("loss", 0, "per-transmission message loss probability")
-		source   = flag.Int("source", 0, "source node id")
-		trace    = flag.Bool("trace", false, "print a per-round trace")
-		common   = regcast.AddCommonFlags(flag.CommandLine)
+		n         = flag.Int("n", 4096, "number of nodes")
+		d         = flag.Int("d", 8, "degree of the random regular graph")
+		protoSel  = flag.String("protocol", "fourchoice", "protocol: fourchoice|algorithm1|algorithm2|seq|push|pull|pushpull")
+		alpha     = flag.Float64("alpha", core.DefaultAlpha, "phase-length constant α for the four-choice schedules")
+		choices   = flag.Int("choices", core.Choices, "dials per round for the four-choice schedules (ablation)")
+		failure   = flag.Float64("failure", 0, "channel establishment failure probability")
+		loss      = flag.Float64("loss", 0, "per-transmission message loss probability")
+		source    = flag.Int("source", 0, "source node id")
+		trace     = flag.Bool("trace", false, "print a per-round trace")
+		stopEarly = flag.Bool("stop-early", false, "stop as soon as every node is informed (skip the schedule's tail)")
+		mem       = flag.Bool("mem", false, "report allocation totals (runtime.MemStats) for the run")
+		common    = regcast.AddCommonFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
@@ -56,10 +66,26 @@ func run() error {
 		return runPopulation(*n, *trace, common)
 	}
 
+	var memBefore runtime.MemStats
+	if *mem {
+		runtime.GC()
+		runtime.ReadMemStats(&memBefore)
+	}
+
 	master := common.Rand()
-	g, err := regcast.NewRegularGraph(*n, *d, master.Split())
-	if err != nil {
-		return err
+	spec := common.TopologySpec()
+	if spec != nil {
+		if nn := regcast.SpecNodeCount(spec); nn > 0 {
+			*n = nn // protocol horizons are functions of n
+		}
+	}
+	var g *regcast.Graph
+	var err error
+	if spec == nil {
+		g, err = regcast.NewRegularGraph(*n, *d, master.Split())
+		if err != nil {
+			return err
+		}
 	}
 
 	var proto regcast.Protocol
@@ -93,7 +119,15 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("graph: G(%d,%d) simple=%v connected=%v\n", *n, *d, g.IsSimple(), g.IsConnected())
+	if spec == nil {
+		fmt.Printf("graph: G(%d,%d) simple=%v connected=%v\n", *n, *d, g.IsSimple(), g.IsConnected())
+	} else {
+		kind := "dense"
+		if regcast.SpecImplicit(spec) {
+			kind = "implicit"
+		}
+		fmt.Printf("topology: %s (%s, n=%d)\n", common.Topology, kind, *n)
+	}
 	fmt.Printf("protocol: %s (choices=%d horizon=%d)\n", proto.Name(), proto.Choices(), proto.Horizon())
 
 	sopts := []regcast.ScenarioOption{
@@ -102,6 +136,9 @@ func run() error {
 		regcast.WithChannelFailure(*failure),
 		regcast.WithMessageLoss(*loss),
 		regcast.WithAvoidRecent(avoidRecent),
+	}
+	if *stopEarly {
+		sopts = append(sopts, regcast.WithStopEarly())
 	}
 	var fractions []float64
 	if *trace {
@@ -113,14 +150,21 @@ func run() error {
 			},
 		}))
 	}
-	scenario, err := regcast.NewScenario(regcast.Static(g), proto, sopts...)
+	var scenario regcast.Scenario
+	if spec == nil {
+		scenario, err = regcast.NewScenario(regcast.Static(g), proto, sopts...)
+	} else {
+		scenario, err = regcast.NewScenarioSpec(spec, proto, sopts...)
+	}
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	res, err := regcast.Run(context.Background(), scenario, common.RunnerOptions()...)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	if *trace {
 		if chart, err := viz.Chart(64, 12, viz.Series{Name: "informed fraction", Values: fractions}); err == nil {
 			fmt.Println()
@@ -133,6 +177,14 @@ func run() error {
 	}
 	fmt.Printf("transmissions: %d (%.2f per node)\n", res.Transmissions, float64(res.Transmissions)/float64(*n))
 	fmt.Printf("channels dialled: %d\n", res.ChannelsDialed)
+	fmt.Printf("wall clock: %s\n", elapsed.Round(time.Millisecond))
+	if *mem {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		alloc := after.TotalAlloc - memBefore.TotalAlloc
+		fmt.Printf("memory: %.1f MB allocated (%.1f B/node), heap sys %.1f MB\n",
+			float64(alloc)/(1<<20), float64(alloc)/float64(*n), float64(after.HeapSys)/(1<<20))
+	}
 	return nil
 }
 

@@ -11,6 +11,9 @@
 //	regcast-bench -grid protocols -rep-workers -1   # replications on a GOMAXPROCS pool
 //	regcast-bench -grid degrees -timing             # include per-cell wall-clock
 //	regcast-bench -grid topologies                  # declarative topology-family axis
+//	regcast-bench -grid topologies-implicit -mem    # implicit vs dense pairs with B/op
+//	regcast-bench -grid ci -topology hypercube:dim=14
+//	                                                # override the grid's default topology
 //	regcast-bench -grid churn                       # overlay join/leave-rate axis
 //	regcast-bench -grid ci -timing -o BENCH_ci.json -baseline BENCH_seed.json
 //	                                                # ...and diff against a checked-in report
@@ -105,6 +108,17 @@ func buildCell(p regcast.Point, defaults cellDefaults) (regcast.Batch, error) {
 			churn = p.Value("churn").(float64)
 		}
 	}
+	if spec == nil && churn < 0 {
+		// The shared -topology flag overrides the grid's default topology
+		// for cells that don't sweep one themselves; its node count drives
+		// the protocol horizons.
+		spec = defaults.spec
+		if spec != nil {
+			if nn := regcast.SpecNodeCount(spec); nn > 0 {
+				n = nn
+			}
+		}
+	}
 	rng := regcast.NewRand(p.Seed)
 	proto, err := mk(n, d)
 	if err != nil {
@@ -139,6 +153,9 @@ func buildCell(p regcast.Point, defaults cellDefaults) (regcast.Batch, error) {
 type cellDefaults struct {
 	n, d  int
 	proto protoFactory
+	// spec, when set (the -topology flag), replaces the default random
+	// regular graph for every cell without a topology or churn axis.
+	spec regcast.TopologySpec
 }
 
 // popWorkload is one value of the populations grid's workload axis: a
@@ -259,6 +276,29 @@ var grids = map[string]grid{
 		},
 		def: cellDefaults{n: 1 << 12, d: 8, proto: protocols["push-pull"]},
 	},
+	"topologies-implicit": {
+		// Implicit vs dense pairs of the algebraic-adjacency families. Each
+		// cell draws its own grid seed, so the pairs are statistical — not
+		// byte — twins here (bit-identity is pinned by the facade property
+		// tests); what this grid tracks is the perf trajectory of the
+		// implicit fast path, and with -mem its B/op advantage.
+		about: "implicit-adjacency families paired with their materialised twins",
+		reps:  3,
+		axes: []regcast.Axis{
+			regcast.TopologyAxis(
+				regcast.Val("hypercube", regcast.HypercubeSpec{Dim: 12}),
+				regcast.Val("hypercube-dense", regcast.HypercubeSpec{Dim: 12, Dense: true}),
+				regcast.Val("torus", regcast.TorusSpec{Rows: 64, Cols: 64}),
+				regcast.Val("torus-dense", regcast.TorusSpec{Rows: 64, Cols: 64, Dense: true}),
+				regcast.Val("gnp-stream", regcast.GnpStreamSpec{N: 1 << 12, P: 16.0 / (1 << 12)}),
+				regcast.Val("gnp-stream-dense", regcast.GnpStreamSpec{N: 1 << 12, P: 16.0 / (1 << 12), Dense: true}),
+				regcast.Val("regular-stream", regcast.RegularStreamSpec{N: 1 << 12, D: 8}),
+				regcast.Val("regular-stream-dense", regcast.RegularStreamSpec{N: 1 << 12, D: 8, Dense: true}),
+			),
+			protoAxis("push-pull"),
+		},
+		def: cellDefaults{n: 1 << 12, d: 8, proto: protocols["push-pull"]},
+	},
 	"churn": {
 		// Overlay churn-rate sweep: the paper's p2p setting as a grid axis.
 		about: "per-round join/leave rate sweep on the maintained overlay",
@@ -329,6 +369,7 @@ func run() error {
 		format   = flag.String("format", "json", "output format: json|csv")
 		out      = flag.String("o", "", "output file (default stdout)")
 		timing   = flag.Bool("timing", false, "record per-cell wall-clock (machine-dependent; breaks byte-determinism)")
+		mem      = flag.Bool("mem", false, "record per-cell allocation (B/op) and heap-sys (machine-dependent; breaks byte-determinism)")
 		baseline = flag.String("baseline", "", "baseline report (JSON) to diff the fresh report against; fails only on schema mismatch")
 		maxReg   = flag.Float64("max-regress", -1,
 			"with -baseline: exit with code 3 when any cell's mean rounds or tx/node regress past this percentage (negative = report only)")
@@ -353,7 +394,9 @@ func run() error {
 		replications = *reps
 	}
 
+	g.def.spec = common.TopologySpec()
 	sweep := newSweep(*gridName, g, common.Seed, replications, *repWork, common.Runner(), *timing)
+	sweep.MemStats = *mem
 	report, err := sweep.Run(context.Background())
 	if err != nil {
 		return err

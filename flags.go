@@ -21,8 +21,14 @@ type CommonFlags struct {
 	// "interactions"); Validate parses it and Scheduler returns the
 	// typed selection.
 	SchedulerName string
+	// Topology is the raw -topology value (the ParseTopologySpec string
+	// form, e.g. "hypercube:dim=27"); empty means the command's own
+	// topology flags apply. Validate parses it and TopologySpec returns
+	// the parsed spec.
+	Topology string
 
 	scheduler Scheduler
+	spec      TopologySpec
 }
 
 // AddCommonFlags registers the canonical -seed/-workers/-scheduler flags
@@ -34,6 +40,8 @@ func AddCommonFlags(fs *flag.FlagSet) *CommonFlags {
 		"engine workers: 0 = classic sequential engine, -1 = GOMAXPROCS (sharded), n = n workers (sharded)")
 	fs.StringVar(&f.SchedulerName, "scheduler", SchedulerRounds.String(),
 		"engine family: rounds = phone-call round model, interactions = population-protocol pairwise interactions")
+	fs.StringVar(&f.Topology, "topology", "",
+		"topology spec override, family:key=val,... (e.g. hypercube:dim=27, torus:rows=64,cols=64, gnp-stream:n=4096,p=0.004, regular:n=4096,d=8; see regcast.ParseTopologySpec)")
 	return f
 }
 
@@ -47,12 +55,23 @@ func (f *CommonFlags) Validate() error {
 		return fmt.Errorf("-scheduler %q invalid (use rounds or interactions)", f.SchedulerName)
 	}
 	f.scheduler = s
+	if f.Topology != "" {
+		spec, err := ParseTopologySpec(f.Topology)
+		if err != nil {
+			return fmt.Errorf("-topology: %w", err)
+		}
+		f.spec = spec
+	}
 	return nil
 }
 
 // Scheduler returns the engine family the -scheduler flag selected;
 // call Validate first.
 func (f *CommonFlags) Scheduler() Scheduler { return f.scheduler }
+
+// TopologySpec returns the spec the -topology flag selected, or nil when
+// the flag was not given; call Validate first.
+func (f *CommonFlags) TopologySpec() TopologySpec { return f.spec }
 
 // Rand returns the master RNG derived from -seed; Split it per consumer.
 func (f *CommonFlags) Rand() *Rand { return NewRand(f.Seed) }

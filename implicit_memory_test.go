@@ -1,0 +1,54 @@
+package regcast_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"regcast"
+	"regcast/internal/baseline"
+)
+
+// TestImplicitMemoryGuard is the memory-wall regression gate: a full
+// push broadcast on a one-million-node implicit hypercube must stay
+// within a fixed allocation budget. The budget (48 MB, ~48 B/node) is
+// far below the 84 MB the dense dim-20 hypercube spends on its CSR
+// adjacency alone, so the test fails loudly if the engine ever starts
+// materialising implicit topologies — the exact regression the implicit
+// fast path exists to prevent.
+func TestImplicitMemoryGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	const dim = 20 // 1,048,576 nodes
+	n := 1 << dim
+	proto, err := baseline.NewPush(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := regcast.NewScenarioSpec(regcast.HypercubeSpec{Dim: dim}, proto,
+		regcast.WithSeed(1), regcast.WithStopEarly())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := regcast.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+
+	if !res.AllInformed {
+		t.Fatalf("broadcast incomplete: %d/%d informed", res.Informed, n)
+	}
+	alloc := after.TotalAlloc - before.TotalAlloc
+	const budget = 48 << 20
+	t.Logf("n=%d: %.1f MB allocated (%.1f B/node)", n, float64(alloc)/(1<<20), float64(alloc)/float64(n))
+	if alloc > budget {
+		t.Errorf("implicit 1M-node broadcast allocated %.1f MB, budget %d MB — is the implicit path materialising adjacency?",
+			float64(alloc)/(1<<20), budget>>20)
+	}
+}

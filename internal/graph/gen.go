@@ -313,39 +313,28 @@ func Complete(n int) (*Graph, error) {
 }
 
 // Hypercube returns the dim-dimensional hypercube on 2^dim nodes.
+// It is defined as Materialize over the implicit family, so row order
+// (ascending bit index) is identical between the two paths by
+// construction. Dense materialisation needs 2^dim × dim adjacency
+// slots to fit int32 offsets, capping dim at 26 here; the implicit
+// family goes to dim 30.
 func Hypercube(dim int) (*Graph, error) {
-	if dim < 1 || dim > 30 {
-		return nil, fmt.Errorf("graph: Hypercube dim=%d out of [1,30]", dim)
+	h, err := NewImplicitHypercube(dim)
+	if err != nil {
+		return nil, err
 	}
-	n := 1 << dim
-	var edges [][2]int32
-	for v := 0; v < n; v++ {
-		for b := 0; b < dim; b++ {
-			w := v ^ (1 << b)
-			if w > v {
-				edges = append(edges, [2]int32{int32(v), int32(w)})
-			}
-		}
-	}
-	return NewFromEdges(n, edges)
+	return Materialize(h)
 }
 
-// Torus returns the rows×cols 2D torus (4-regular when rows, cols >= 3).
+// Torus returns the rows×cols 2D torus (4-regular when rows, cols >= 3),
+// materialised from the implicit family (row order: up, down, left,
+// right per cell) so the two paths agree element-for-element.
 func Torus(rows, cols int) (*Graph, error) {
-	if rows < 3 || cols < 3 {
-		return nil, fmt.Errorf("graph: Torus needs rows, cols >= 3, got %d×%d", rows, cols)
+	t, err := NewImplicitTorus(rows, cols)
+	if err != nil {
+		return nil, err
 	}
-	id := func(r, c int) int32 { return int32(r*cols + c) }
-	var edges [][2]int32
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			edges = append(edges,
-				[2]int32{id(r, c), id(r, (c+1)%cols)},
-				[2]int32{id(r, c), id((r+1)%rows, c)},
-			)
-		}
-	}
-	return NewFromEdges(rows*cols, edges)
+	return Materialize(t)
 }
 
 // CartesianProduct returns the Cartesian product g □ h: nodes are pairs

@@ -1,0 +1,352 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"regcast/internal/xrand"
+)
+
+// Implicit is a graph family whose adjacency is computed, not stored.
+// Degree(v) and NeighborAt(v, i) for i in [0, Degree(v)) enumerate the
+// exact multiset of neighbors the materialised CSR row would hold, in
+// the same order — Materialize(im) and an Implicit im are interchangeable
+// element-for-element. Implementations must be safe for concurrent use
+// (the sharded engine calls NeighborAt from several goroutines) and
+// must not draw from any shared randomness at query time: a family that
+// needs random bits regenerates them deterministically per row.
+//
+// Node ids and neighbor ids fit in int32, matching the CSR contract.
+type Implicit interface {
+	NumNodes() int
+	Degree(v int) int
+	NeighborAt(v, i int) int32
+}
+
+// UniformDegree is an optional Implicit refinement for regular families:
+// every node has the same degree. Consumers use it for O(1) dial-budget
+// computation instead of an O(n) degree scan.
+type UniformDegree interface {
+	UniformDegree() int
+}
+
+// DegreeArray is an optional Implicit refinement exposing the full
+// degree slice (shared, read-only) for families that precompute it.
+type DegreeArray interface {
+	Degrees() []int32
+}
+
+// Materialize builds the CSR graph whose row v is exactly
+// NeighborAt(v, 0..Degree(v)) in order. It is the bridge that pins
+// implicit families bit-identical to the dense path: the dense
+// generators for hypercube and torus are defined as Materialize over
+// the implicit family, so the two can never disagree.
+func Materialize(im Implicit) (*Graph, error) {
+	n := im.NumNodes()
+	var stubs int64
+	for v := 0; v < n; v++ {
+		stubs += int64(im.Degree(v))
+	}
+	if stubs > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: materialising %d nodes needs %d adjacency slots, exceeding int32 CSR offsets — use the implicit family directly", n, stubs)
+	}
+	g := &Graph{
+		offsets: make([]int32, n+1),
+		adj:     make([]int32, stubs),
+	}
+	var off int32
+	for v := 0; v < n; v++ {
+		g.offsets[v] = off
+		deg := im.Degree(v)
+		for i := 0; i < deg; i++ {
+			g.adj[off] = im.NeighborAt(v, i)
+			off++
+		}
+	}
+	g.offsets[n] = off
+	return g, nil
+}
+
+// ImplicitHypercube is the dim-dimensional hypercube on n = 2^dim nodes
+// with O(1) arithmetic adjacency: NeighborAt(v, i) flips bit i.
+// dim is capped at 30 so node ids fit int32.
+type ImplicitHypercube struct {
+	dim int
+}
+
+// NewImplicitHypercube returns the implicit dim-dimensional hypercube.
+func NewImplicitHypercube(dim int) (*ImplicitHypercube, error) {
+	if dim < 1 || dim > 30 {
+		return nil, fmt.Errorf("graph: hypercube dimension %d out of range [1,30]", dim)
+	}
+	return &ImplicitHypercube{dim: dim}, nil
+}
+
+func (h *ImplicitHypercube) NumNodes() int      { return 1 << h.dim }
+func (h *ImplicitHypercube) Degree(int) int     { return h.dim }
+func (h *ImplicitHypercube) UniformDegree() int { return h.dim }
+func (h *ImplicitHypercube) NeighborAt(v, i int) int32 {
+	return int32(v ^ (1 << i))
+}
+
+// ImplicitTorus is the rows×cols 2D torus (wrap-around grid) with O(1)
+// arithmetic adjacency. Neighbor order per cell: up, down, left, right.
+// Both sides must be ≥ 3 so the four neighbors are distinct.
+type ImplicitTorus struct {
+	rows, cols int
+}
+
+// NewImplicitTorus returns the implicit rows×cols torus.
+func NewImplicitTorus(rows, cols int) (*ImplicitTorus, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: torus sides must be >= 3, got %dx%d", rows, cols)
+	}
+	if int64(rows)*int64(cols) > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: torus %dx%d exceeds int32 node ids", rows, cols)
+	}
+	return &ImplicitTorus{rows: rows, cols: cols}, nil
+}
+
+func (t *ImplicitTorus) NumNodes() int      { return t.rows * t.cols }
+func (t *ImplicitTorus) Degree(int) int     { return 4 }
+func (t *ImplicitTorus) UniformDegree() int { return 4 }
+
+func (t *ImplicitTorus) NeighborAt(v, i int) int32 {
+	r, c := v/t.cols, v%t.cols
+	switch i {
+	case 0: // up
+		r--
+		if r < 0 {
+			r = t.rows - 1
+		}
+	case 1: // down
+		r++
+		if r == t.rows {
+			r = 0
+		}
+	case 2: // left
+		c--
+		if c < 0 {
+			c = t.cols - 1
+		}
+	default: // right
+		c++
+		if c == t.cols {
+			c = 0
+		}
+	}
+	return int32(r*t.cols + c)
+}
+
+// GnpStream is a seeded directed G(n,p): each ordered pair (v, w), v≠w,
+// is an arc independently with probability p, and row v is regenerable
+// on demand by replaying a per-row PRNG stream (counter-mode seeding:
+// rowSeed = mix(seed, v)). Rows are enumerated with geometric skipping,
+// so NeighborAt costs O(Degree(v)) worst case and O(i) amortised when
+// scanned in order; the fast-path samplers only ever index one slot per
+// dial, which for p = Θ(polylog n / n) is O(log n) work per draw.
+//
+// The digraph view matches the phone-call model (each caller dials from
+// its own arc list); Materialize yields the row-for-row identical CSR.
+// Degrees are precomputed at construction (4 B/node) — that is the only
+// per-node storage.
+type GnpStream struct {
+	n    int
+	p    float64
+	seed uint64
+	deg  []int32
+}
+
+// NewGnpStream builds the seeded streaming G(n,p). Construction costs
+// one replay pass to count per-row degrees.
+func NewGnpStream(n int, p float64, seed uint64) (*GnpStream, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: Gnp needs n >= 2 nodes, got %d", n)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("graph: edge probability %v outside [0,1]", p)
+	}
+	g := &GnpStream{n: n, p: p, seed: seed, deg: make([]int32, n)}
+	for v := 0; v < n; v++ {
+		var r xrand.Rand
+		r.Seed(g.rowSeed(v))
+		d := 0
+		g.rowWalk(&r, v, func(int32) { d++ })
+		g.deg[v] = int32(d)
+	}
+	return g, nil
+}
+
+func (g *GnpStream) rowSeed(v int) uint64 {
+	// SplitMix64-style mix of (seed, v): distinct rows get decorrelated
+	// streams even for adjacent v or seed values.
+	x := g.seed ^ (uint64(v)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rowWalk replays row v's arc stream, invoking emit for each neighbor
+// in ascending order. The geometric-skip walk draws exactly the same
+// variates every replay, so the row is a pure function of (seed, v).
+func (g *GnpStream) rowWalk(r *xrand.Rand, v int, emit func(int32)) {
+	if g.p <= 0 {
+		return
+	}
+	// Positions 0..n-2 index the candidate set {0..n-1}\{v}.
+	pos := -1
+	for {
+		pos += 1 + r.Geometric(g.p)
+		if pos > g.n-2 {
+			return
+		}
+		w := pos
+		if w >= v {
+			w++
+		}
+		emit(int32(w))
+	}
+}
+
+func (g *GnpStream) NumNodes() int    { return g.n }
+func (g *GnpStream) Degree(v int) int { return int(g.deg[v]) }
+func (g *GnpStream) Degrees() []int32 { return g.deg }
+
+func (g *GnpStream) NeighborAt(v, i int) int32 {
+	var r xrand.Rand
+	r.Seed(g.rowSeed(v))
+	var nb int32
+	j := 0
+	g.rowWalk(&r, v, func(w int32) {
+		if j == i {
+			nb = w
+		}
+		j++
+	})
+	if i < 0 || i >= j {
+		panic(fmt.Sprintf("graph: GnpStream.NeighborAt(%d, %d) out of range [0,%d)", v, i, j))
+	}
+	return nb
+}
+
+// RegularStream is a seeded d-regular multigraph (d even) with O(1)
+// regenerable adjacency and zero per-node storage: it is the union of
+// d/2 pseudorandom permutation 2-factors. Permutation j is a 4-round
+// Feistel network over 2b-bit values (2^(2b) ≥ n) with cycle-walking,
+// so π_j and its inverse are both O(1) arithmetic. Row v lists
+// π_0(v), π_0⁻¹(v), π_1(v), π_1⁻¹(v), ... — the multiset is symmetric
+// (w appears in row v exactly as often as v appears in row w), so the
+// family is an undirected d-regular multigraph. Self-loops occur only
+// at permutation fixed points (O(d) nodes in expectation).
+type RegularStream struct {
+	n, d     int
+	halfBits uint
+	mask     uint64
+	keys     [][4]uint64 // one 4-round key schedule per permutation
+}
+
+// NewRegularStream builds the seeded streaming d-regular multigraph.
+// d must be even, 2 ≤ d < n.
+func NewRegularStream(n, d int, seed uint64) (*RegularStream, error) {
+	if n < 2 || int64(n) > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: regular-stream n %d out of range [2, MaxInt32]", n)
+	}
+	if d < 2 || d%2 != 0 || d >= n {
+		return nil, fmt.Errorf("graph: regular-stream degree %d must be even and in [2, n)", d)
+	}
+	// Smallest b with 2^(2b) >= n.
+	b := uint(1)
+	for 1<<(2*b) < n {
+		b++
+	}
+	g := &RegularStream{
+		n:        n,
+		d:        d,
+		halfBits: b,
+		mask:     1<<b - 1,
+		keys:     make([][4]uint64, d/2),
+	}
+	s := seed
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		x := s
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x
+	}
+	for j := range g.keys {
+		for rd := 0; rd < 4; rd++ {
+			g.keys[j][rd] = next()
+		}
+	}
+	return g, nil
+}
+
+func (g *RegularStream) NumNodes() int      { return g.n }
+func (g *RegularStream) Degree(int) int     { return g.d }
+func (g *RegularStream) UniformDegree() int { return g.d }
+
+// feistelF is the round function: a cheap keyed mix of the b-bit half.
+func (g *RegularStream) feistelF(half, key uint64) uint64 {
+	x := (half + key) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x & g.mask
+}
+
+// encrypt applies the 4-round Feistel permutation over 2b bits.
+func (g *RegularStream) encrypt(j int, x uint64) uint64 {
+	l, r := x>>g.halfBits, x&g.mask
+	for rd := 0; rd < 4; rd++ {
+		l, r = r, l^g.feistelF(r, g.keys[j][rd])
+	}
+	return l<<g.halfBits | r
+}
+
+// decrypt inverts encrypt.
+func (g *RegularStream) decrypt(j int, x uint64) uint64 {
+	l, r := x>>g.halfBits, x&g.mask
+	for rd := 3; rd >= 0; rd-- {
+		l, r = r^g.feistelF(l, g.keys[j][rd]), l
+	}
+	return l<<g.halfBits | r
+}
+
+// perm is π_j over [0,n): cycle-walk the 2b-bit Feistel permutation
+// until it lands back inside the domain. Terminates because a
+// permutation's cycle through x re-enters [0,n) at least at x itself.
+func (g *RegularStream) perm(j, v int) int32 {
+	x := uint64(v)
+	for {
+		x = g.encrypt(j, x)
+		if x < uint64(g.n) {
+			return int32(x)
+		}
+	}
+}
+
+// permInv is π_j⁻¹ over [0,n).
+func (g *RegularStream) permInv(j, v int) int32 {
+	x := uint64(v)
+	for {
+		x = g.decrypt(j, x)
+		if x < uint64(g.n) {
+			return int32(x)
+		}
+	}
+}
+
+func (g *RegularStream) NeighborAt(v, i int) int32 {
+	j := i >> 1
+	if i&1 == 0 {
+		return g.perm(j, v)
+	}
+	return g.permInv(j, v)
+}

@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"testing"
+)
+
+// materializedEqual asserts g's CSR rows are element-for-element
+// NeighborAt(v, 0..Degree(v)) — the Implicit contract.
+func materializedEqual(t *testing.T, im Implicit, g *Graph) {
+	t.Helper()
+	n := im.NumNodes()
+	if g.NumNodes() != n {
+		t.Fatalf("node count: implicit %d, materialised %d", n, g.NumNodes())
+	}
+	for v := 0; v < n; v++ {
+		deg := im.Degree(v)
+		if g.Degree(v) != deg {
+			t.Fatalf("node %d: implicit degree %d, materialised %d", v, deg, g.Degree(v))
+		}
+		row := g.Neighbors(v)
+		for i := 0; i < deg; i++ {
+			if got := im.NeighborAt(v, i); got != row[i] {
+				t.Fatalf("node %d slot %d: NeighborAt %d, CSR %d", v, i, got, row[i])
+			}
+		}
+	}
+}
+
+func TestImplicitHypercubeMatchesDense(t *testing.T) {
+	for _, dim := range []int{1, 3, 7, 10} {
+		im, err := NewImplicitHypercube(dim)
+		if err != nil {
+			t.Fatalf("dim %d: %v", dim, err)
+		}
+		dense, err := Hypercube(dim)
+		if err != nil {
+			t.Fatalf("dense dim %d: %v", dim, err)
+		}
+		materializedEqual(t, im, dense)
+		if !dense.IsRegular(dim) || !dense.IsConnected() || !dense.IsSimple() {
+			t.Fatalf("dim %d: hypercube not a simple connected %d-regular graph", dim, dim)
+		}
+	}
+	if _, err := NewImplicitHypercube(0); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	if _, err := NewImplicitHypercube(31); err == nil {
+		t.Fatal("dim 31 accepted (node ids would overflow int32)")
+	}
+}
+
+func TestImplicitTorusMatchesDense(t *testing.T) {
+	for _, dims := range [][2]int{{3, 3}, {3, 8}, {16, 5}, {32, 32}} {
+		im, err := NewImplicitTorus(dims[0], dims[1])
+		if err != nil {
+			t.Fatalf("%dx%d: %v", dims[0], dims[1], err)
+		}
+		dense, err := Torus(dims[0], dims[1])
+		if err != nil {
+			t.Fatalf("dense %dx%d: %v", dims[0], dims[1], err)
+		}
+		materializedEqual(t, im, dense)
+		if !dense.IsRegular(4) || !dense.IsConnected() {
+			t.Fatalf("%dx%d: torus not a connected 4-regular graph", dims[0], dims[1])
+		}
+	}
+	if _, err := NewImplicitTorus(2, 5); err == nil {
+		t.Fatal("2-row torus accepted (up/down neighbors collide)")
+	}
+}
+
+func TestMaterializeRejectsInt32Overflow(t *testing.T) {
+	// dim 27: 2^27 nodes × 27 stubs > MaxInt32 adjacency slots. The
+	// implicit family handles the size; only materialisation must refuse.
+	im, err := NewImplicitHypercube(27)
+	if err != nil {
+		t.Fatalf("implicit dim 27: %v", err)
+	}
+	if _, err := Materialize(im); err == nil {
+		t.Fatal("Materialize accepted 2^27×27 adjacency slots")
+	}
+}
+
+func TestGnpStreamMatchesMaterialized(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		p    float64
+		seed uint64
+	}{
+		{50, 0.3, 1},
+		{400, 16.0 / 400, 7},
+		{64, 0, 9},
+		{10, 1, 3},
+	} {
+		im, err := NewGnpStream(tc.n, tc.p, tc.seed)
+		if err != nil {
+			t.Fatalf("n=%d p=%v: %v", tc.n, tc.p, err)
+		}
+		g, err := Materialize(im)
+		if err != nil {
+			t.Fatalf("materialize n=%d p=%v: %v", tc.n, tc.p, err)
+		}
+		materializedEqual(t, im, g)
+		// Rows are strictly ascending neighbor lists without v itself.
+		for v := 0; v < tc.n; v++ {
+			row := g.Neighbors(v)
+			for i, w := range row {
+				if int(w) == v {
+					t.Fatalf("n=%d p=%v: row %d holds a self-loop", tc.n, tc.p, v)
+				}
+				if i > 0 && row[i-1] >= w {
+					t.Fatalf("n=%d p=%v: row %d not strictly ascending", tc.n, tc.p, v)
+				}
+			}
+		}
+		if tc.p == 1 {
+			for v := 0; v < tc.n; v++ {
+				if im.Degree(v) != tc.n-1 {
+					t.Fatalf("p=1: node %d degree %d, want %d", v, im.Degree(v), tc.n-1)
+				}
+			}
+		}
+		if tc.p == 0 {
+			for v := 0; v < tc.n; v++ {
+				if im.Degree(v) != 0 {
+					t.Fatalf("p=0: node %d degree %d, want 0", v, im.Degree(v))
+				}
+			}
+		}
+	}
+}
+
+func TestGnpStreamDeterministicAcrossInstances(t *testing.T) {
+	a, err := NewGnpStream(200, 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGnpStream(200, 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 200; v++ {
+		if a.Degree(v) != b.Degree(v) {
+			t.Fatalf("node %d: degree %d vs %d across instances", v, a.Degree(v), b.Degree(v))
+		}
+		for i := 0; i < a.Degree(v); i++ {
+			if a.NeighborAt(v, i) != b.NeighborAt(v, i) {
+				t.Fatalf("node %d slot %d differs across same-seed instances", v, i)
+			}
+		}
+	}
+	c, err := NewGnpStream(200, 0.05, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := 0; v < 200 && same; v++ {
+		if a.Degree(v) != c.Degree(v) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical degree sequences")
+	}
+}
+
+func TestRegularStreamPermutationStructure(t *testing.T) {
+	for _, tc := range []struct {
+		n, d int
+		seed uint64
+	}{
+		{100, 4, 1},
+		{257, 8, 5}, // non-power-of-two: exercises cycle-walking
+		{64, 2, 9},
+		{1000, 6, 11},
+	} {
+		im, err := NewRegularStream(tc.n, tc.d, tc.seed)
+		if err != nil {
+			t.Fatalf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+		// Each 2-factor is a bijection: perm and permInv invert each other,
+		// exercised through the public NeighborAt (slot 2j = π_j, 2j+1 = π_j⁻¹).
+		for j := 0; j < tc.d/2; j++ {
+			seen := make([]bool, tc.n)
+			for v := 0; v < tc.n; v++ {
+				w := int(im.NeighborAt(v, 2*j))
+				if w < 0 || w >= tc.n {
+					t.Fatalf("π_%d(%d) = %d out of range", j, v, w)
+				}
+				if seen[w] {
+					t.Fatalf("π_%d not injective at image %d", j, w)
+				}
+				seen[w] = true
+				if back := int(im.NeighborAt(w, 2*j+1)); back != v {
+					t.Fatalf("π_%d⁻¹(π_%d(%d)) = %d", j, j, v, back)
+				}
+			}
+		}
+		// The materialised multigraph is d-regular and symmetric (the CSR
+		// constructor-independent check: w in row v as often as v in row w).
+		g, err := Materialize(im)
+		if err != nil {
+			t.Fatalf("materialize n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+		materializedEqual(t, im, g)
+		if !g.IsRegular(tc.d) {
+			t.Fatalf("n=%d d=%d: not %d-regular", tc.n, tc.d, tc.d)
+		}
+		type arc struct{ v, w int32 }
+		count := make(map[arc]int)
+		for v := 0; v < tc.n; v++ {
+			for _, w := range g.Neighbors(v) {
+				count[arc{int32(v), w}]++
+			}
+		}
+		for a, c := range count {
+			if count[arc{a.w, a.v}] != c {
+				t.Fatalf("asymmetric multiset: (%d,%d)×%d vs (%d,%d)×%d",
+					a.v, a.w, c, a.w, a.v, count[arc{a.w, a.v}])
+			}
+		}
+	}
+	if _, err := NewRegularStream(100, 3, 1); err == nil {
+		t.Fatal("odd degree accepted")
+	}
+	if _, err := NewRegularStream(4, 4, 1); err == nil {
+		t.Fatal("d >= n accepted")
+	}
+}

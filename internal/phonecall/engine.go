@@ -181,6 +181,15 @@ type Engine struct {
 	aliveBits []uint64
 	csrEpoch  uint64
 
+	// Implicit fast path (see fastpath_implicit.go): when the topology
+	// exposes computable adjacency (ImplicitViewer) and no CSR view, the
+	// dial samplers call impNbrs.Degree/NeighborAt arithmetic instead of
+	// indexing csrOff/csrAdj — no adjacency array is ever built. All
+	// other fast-path machinery (aliveBits, csrEpoch, the push/pull/shard
+	// loops, which only read dialTargets) is shared unchanged.
+	impView ImplicitViewer
+	impNbrs ImplicitNeighbors
+
 	// sharded-engine state (Config.Workers != 0); see parallel.go
 	workers    int
 	shards     []parShard
@@ -289,6 +298,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.fast = true
 		e.fastView = cv
 		e.csrOff, e.csrAdj, e.aliveBits, e.csrEpoch = cv.CSRView()
+	} else if iv, ok := cfg.Topology.(ImplicitViewer); ok && !cfg.DisableFastPath {
+		// The implicit fast path: same round loops, but the dial samplers
+		// compute neighbours arithmetically (fastpath_implicit.go) instead
+		// of indexing CSR arrays. A topology exposing both views takes the
+		// CSR branch above — if the arrays exist, indexing them is cheaper
+		// than recomputing.
+		e.fast = true
+		e.impView = iv
+		e.impNbrs, e.aliveBits, e.csrEpoch = iv.ImplicitView()
 	}
 	e.aliveCounter, _ = cfg.Topology.(AliveCounter)
 	e.informedAt = make([]int32, n)
@@ -325,13 +343,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("phonecall: TrackEdgeUse requires a static topology")
 		}
 		// The dense-edge-id census enumerates every CSR slot, which is only
-		// well-defined on a fully-alive view (dead rows hold unspecified
-		// entries); a partially-alive CSR topology takes the reference path
-		// with the endpoint-keyed map instead.
-		if e.aliveBits != nil {
+		// well-defined on a fully-alive materialised view (dead rows hold
+		// unspecified entries, and an implicit topology has no slots to
+		// enumerate); a partially-alive CSR topology or an implicit one
+		// takes the reference path with the endpoint-keyed map instead.
+		if e.aliveBits != nil || e.impNbrs != nil {
 			e.fast = false
 			e.fastView = nil
 			e.csrOff, e.csrAdj, e.aliveBits = nil, nil, nil
+			e.impView, e.impNbrs = nil, nil
 		}
 		e.unusedDeg = make([]int32, n)
 		for v := 0; v < n; v++ {
@@ -890,11 +910,19 @@ func (e *Engine) aliveFast(v int) bool {
 	return e.aliveBits == nil || e.aliveBits[uint(v)>>6]&(1<<(uint(v)&63)) != 0
 }
 
-// refreshCSR re-fetches the topology's CSR view after a churn Step, but
-// only when the epoch advanced — the contract that lets churn runs keep
-// the fast path between churn events at the cost of one epoch compare
-// per round.
+// refreshCSR re-fetches the topology's fast-path view (CSR or implicit)
+// after a churn Step, but only when the epoch advanced — the contract
+// that lets churn runs keep the fast path between churn events at the
+// cost of one epoch compare per round.
 func (e *Engine) refreshCSR() {
+	if e.impView != nil {
+		nbrs, alive, epoch := e.impView.ImplicitView()
+		if epoch == e.csrEpoch {
+			return
+		}
+		e.impNbrs, e.aliveBits, e.csrEpoch = nbrs, alive, epoch
+		return
+	}
 	if e.fastView == nil {
 		return
 	}

@@ -24,8 +24,15 @@ package phonecall
 
 // sampleDialsFast is the CSR twin of sampleDialsFor: it fills node v's
 // dialTargets row (and, when the edge census is on, its dialEdge row)
-// without interface calls, alive checks, or O(deg) scratch.
+// without interface calls, alive checks, or O(deg) scratch. On an
+// implicit view (no CSR arrays) it dispatches to the arithmetic twin in
+// fastpath_implicit.go — the push/pull/shard loops above never touch
+// adjacency, so this is the fast path's only implicit/dense branch.
 func (e *Engine) sampleDialsFast(v int, ds *dialState) {
+	if e.impNbrs != nil {
+		e.sampleDialsImplicit(v, ds)
+		return
+	}
 	base := v * e.k
 	for j := 0; j < e.k; j++ {
 		e.dialTargets[base+j] = Uninformed

@@ -1,0 +1,155 @@
+package phonecall
+
+// Implicit-view dial samplers: the arithmetic twins of the CSR samplers
+// in fastpath.go, engaged when the topology exposes ImplicitViewer and
+// no CSR view. Adjacency is computed per draw — impNbrs.Degree(v) and
+// impNbrs.NeighborAt(v, idx) replace the csrOff/csrAdj loads — and no
+// adjacency array ever exists. Everything else is byte-for-byte the CSR
+// structure: the same sampler-selection switch (stream-compatible with
+// DistinctK in every arm), the same dead-target-before-fault-draw order
+// on partially-alive views, the same fault helpers.
+//
+// Bit-identity contract: because NeighborAt draws none of the run's
+// randomness and ImplicitNeighbors must enumerate exactly the rows a
+// materialised CSR view would hold, a run over graph.Implicit `f` is
+// bit-identical to the same run over Static{Materialize(f)} — the
+// implicit facade tests pin this across engines and worker counts.
+//
+// The edge census never runs here (NewEngine falls an implicit topology
+// with TrackEdgeUse back to the reference map census: there are no CSR
+// slots to enumerate edge ids from), so these twins carry no dialEdge
+// branches. On the fully-alive arm the fault draw happens before the
+// neighbor computation — the draw order between the two is unobservable
+// (NeighborAt consumes no run randomness), and skipping the computation
+// for failed channels saves the replay work on streamed families.
+
+// sampleDialsImplicit is the implicit twin of sampleDialsFast.
+func (e *Engine) sampleDialsImplicit(v int, ds *dialState) {
+	base := v * e.k
+	for j := 0; j < e.k; j++ {
+		e.dialTargets[base+j] = Uninformed
+	}
+	deg := e.impNbrs.Degree(v)
+	if deg == 0 {
+		return
+	}
+	if e.cfg.AvoidRecent > 0 {
+		e.sampleWithMemoryImplicit(v, deg, ds)
+		return
+	}
+	if e.cfg.DialStrategy == DialQuasirandom {
+		e.sampleQuasirandomImplicit(v, deg, ds)
+		return
+	}
+	kk := e.k
+	if kk > deg {
+		kk = deg
+	}
+	// Sampler selection: identical to sampleDialsFast, arm for arm.
+	var picks [4]int
+	var idxs []int
+	switch {
+	case kk == 1:
+		picks[0] = ds.rng.IntN(deg)
+		idxs = picks[:1]
+	case kk == 2 && deg >= 64:
+		picks[0], picks[1] = ds.rng.Distinct2(deg)
+		idxs = picks[:2]
+	case kk == 3 && deg >= 64:
+		picks[0], picks[1], picks[2] = ds.rng.Distinct3(deg)
+		idxs = picks[:3]
+	case kk == 4 && deg >= 64:
+		picks[0], picks[1], picks[2], picks[3] = ds.rng.Distinct4(deg)
+		idxs = picks[:4]
+	default:
+		ds.dialIdx = ds.rng.DistinctK(ds.dialIdx, kk, deg, ds.scratchFor(deg))
+		idxs = ds.dialIdx
+	}
+	failure := e.cfg.ChannelFailureProb
+	if e.aliveBits != nil {
+		// Partially-alive view: dead target skips the slot before the
+		// fault draw, exactly like the reference path's Alive(w) check.
+		for j, idx := range idxs {
+			w := e.impNbrs.NeighborAt(v, idx)
+			if !e.aliveFast(int(w)) {
+				continue
+			}
+			if failure > 0 && e.chanFails(ds) {
+				continue
+			}
+			e.dialTargets[base+j] = w
+		}
+		return
+	}
+	for j, idx := range idxs {
+		if failure > 0 && e.chanFails(ds) {
+			continue
+		}
+		e.dialTargets[base+j] = e.impNbrs.NeighborAt(v, idx)
+	}
+}
+
+// sampleQuasirandomImplicit is the implicit twin of sampleQuasirandomFast.
+func (e *Engine) sampleQuasirandomImplicit(v, deg int, ds *dialState) {
+	base := v * e.k
+	if e.listCursor[v] < 0 {
+		e.listCursor[v] = int32(ds.rng.IntN(deg))
+	}
+	kk := e.k
+	if kk > deg {
+		kk = deg
+	}
+	cur := int(e.listCursor[v])
+	failure := e.cfg.ChannelFailureProb
+	for j := 0; j < kk; j++ {
+		idx := cur + j
+		if idx >= deg {
+			idx -= deg
+		}
+		w := e.impNbrs.NeighborAt(v, idx)
+		if e.aliveBits != nil && !e.aliveFast(int(w)) {
+			continue // dead target: skip before the fault draw (reference order)
+		}
+		if failure > 0 && e.chanFails(ds) {
+			continue
+		}
+		e.dialTargets[base+j] = w
+	}
+	e.listCursor[v] = int32((cur + kk) % deg)
+}
+
+// sampleWithMemoryImplicit is the implicit twin of sampleWithMemoryFast
+// (footnote 2's sequentialised model: one dial avoiding recent partners).
+func (e *Engine) sampleWithMemoryImplicit(v, deg int, ds *dialState) {
+	r := e.cfg.AvoidRecent
+	memBase := v * r
+	choice := -1
+	for attempt := 0; attempt < 4*deg+16; attempt++ {
+		idx := ds.rng.IntN(deg)
+		w := int(e.impNbrs.NeighborAt(v, idx))
+		recent := false
+		for i := 0; i < r; i++ {
+			if e.recent[memBase+i] == int32(w) {
+				recent = true
+				break
+			}
+		}
+		if !recent {
+			choice = w
+			break
+		}
+	}
+	if choice < 0 {
+		choice = int(e.impNbrs.NeighborAt(v, ds.rng.IntN(deg)))
+	}
+	// Record the partner regardless of channel failure: the node dialled it.
+	e.recent[memBase+e.recentPos[v]] = int32(choice)
+	e.recentPos[v] = (e.recentPos[v] + 1) % r
+	if e.aliveBits != nil && !e.aliveFast(choice) {
+		return // dead partner: recorded but no channel (reference order)
+	}
+	if e.cfg.ChannelFailureProb > 0 && e.chanFails(ds) {
+		return
+	}
+	e.dialTargets[v*e.k] = int32(choice)
+}

@@ -76,6 +76,41 @@ type CSRViewer interface {
 	CSRView() (offsets, adj []int32, alive []uint64, epoch uint64)
 }
 
+// ImplicitNeighbors is computable adjacency: Degree and NeighborAt
+// arithmetic instead of stored CSR arrays. NeighborAt(v, i) for
+// i in [0, Degree(v)) must enumerate exactly the slice a materialised
+// CSR row for v would hold, in the same order — that equivalence is
+// what keeps the implicit fast path bit-identical to the dense one.
+// Implementations must be goroutine-safe and must not consume any of
+// the run's randomness (seeded families replay their own streams).
+type ImplicitNeighbors interface {
+	Degree(v int) int
+	NeighborAt(v, i int) int32
+}
+
+// ImplicitViewer is the second viewer contract behind the fast path,
+// for topologies whose adjacency is computed rather than stored. It
+// mirrors CSRViewer exactly — same alive-bitset semantics, same epoch
+// invalidation rules — with ImplicitNeighbors standing in for the
+// offsets/adj arrays:
+//
+//   - nbrs.Degree(v) must equal Degree(v) for every alive v, and
+//     nbrs.NeighborAt(v, i) must equal Neighbor(v, i).
+//   - alive is a bitset over node ids (bit v of alive[v/64]); nil means
+//     every id is alive. Rows of dead ids are never read.
+//   - NeighborAt may return dead ids; the engine re-checks target
+//     liveness exactly where the reference path calls Alive.
+//   - epoch changes whenever nbrs or alive change; consumers re-fetch
+//     all three values when it moves.
+//
+// When a topology implements both viewer interfaces the engine prefers
+// CSRView (indexing a slice beats recomputing arithmetic only when the
+// arrays already exist — and if they exist, use them).
+type ImplicitViewer interface {
+	Topology
+	ImplicitView() (nbrs ImplicitNeighbors, alive []uint64, epoch uint64)
+}
+
 // AliveCounter is an optional interface for topologies that can report
 // their alive-node count in O(1) (the churn overlay maintains one). The
 // engine uses it for the per-round completion check and for membership-
@@ -85,10 +120,21 @@ type AliveCounter interface {
 	AliveCount() int
 }
 
+// DialBudgeter is an optional interface for topologies that can compute
+// the per-round dial budget without an O(n) interface scan — uniform-
+// degree implicit families answer in O(1). The result must equal what
+// the generic DialBudget scan would return.
+type DialBudgeter interface {
+	DialBudget(k int) int64
+}
+
 // DialBudget returns the per-round dial budget the model mandates on
 // topo: every alive node dials min(k, degree) neighbours. All engines and
 // the facade charge ChannelsDialed with this one formula.
 func DialBudget(topo Topology, k int) int64 {
+	if b, ok := topo.(DialBudgeter); ok {
+		return b.DialBudget(k)
+	}
 	var total int64
 	n := topo.NumNodes()
 	for v := 0; v < n; v++ {
@@ -132,4 +178,79 @@ func (s Static) Alive(int) bool { return true }
 func (s Static) CSRView() (offsets, adj []int32, alive []uint64, epoch uint64) {
 	offsets, adj = s.G.CSR()
 	return offsets, adj, nil, 0
+}
+
+// Implicit adapts an immutable graph.Implicit family to the Topology
+// interface, exposing it to the fast path through ImplicitViewer. It is
+// the algebraic twin of Static: every node alive, constant epoch, no
+// stored adjacency.
+type Implicit struct {
+	F graph.Implicit
+}
+
+var (
+	_ Topology       = Implicit{}
+	_ ImplicitViewer = Implicit{}
+	_ AliveCounter   = Implicit{}
+	_ DialBudgeter   = Implicit{}
+)
+
+// NewImplicit wraps an implicit graph family as a Topology.
+func NewImplicit(f graph.Implicit) Implicit { return Implicit{F: f} }
+
+// NumNodes implements Topology.
+func (t Implicit) NumNodes() int { return t.F.NumNodes() }
+
+// Degree implements Topology.
+func (t Implicit) Degree(v int) int { return t.F.Degree(v) }
+
+// Neighbor implements Topology.
+func (t Implicit) Neighbor(v, i int) int { return int(t.F.NeighborAt(v, i)) }
+
+// Alive implements Topology; every node of an implicit family is alive.
+func (t Implicit) Alive(int) bool { return true }
+
+// AliveCount implements AliveCounter in O(1), keeping the reference
+// path's per-round completion check off the O(n) Alive scan.
+func (t Implicit) AliveCount() int { return t.F.NumNodes() }
+
+// ImplicitView implements ImplicitViewer: the family's own arithmetic,
+// a nil alive bitset and a constant epoch.
+func (t Implicit) ImplicitView() (nbrs ImplicitNeighbors, alive []uint64, epoch uint64) {
+	return t.F, nil, 0
+}
+
+// DialBudget implements DialBudgeter: uniform-degree families answer in
+// O(1), degree-array families with one slice scan, and anything else
+// falls back to the arithmetic degree scan (no interface dispatch).
+func (t Implicit) DialBudget(k int) int64 {
+	n := t.F.NumNodes()
+	switch f := t.F.(type) {
+	case graph.UniformDegree:
+		d := f.UniformDegree()
+		if d > k {
+			d = k
+		}
+		return int64(n) * int64(d)
+	case graph.DegreeArray:
+		var total int64
+		for _, d := range f.Degrees() {
+			if int(d) > k {
+				total += int64(k)
+			} else {
+				total += int64(d)
+			}
+		}
+		return total
+	default:
+		var total int64
+		for v := 0; v < n; v++ {
+			d := t.F.Degree(v)
+			if d > k {
+				d = k
+			}
+			total += int64(d)
+		}
+		return total
+	}
 }

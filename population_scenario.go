@@ -109,14 +109,31 @@ type PopulationScenario struct {
 	Observer PopulationObserver
 }
 
+// anyScenario marks PopulationScenario as a member of the sealed
+// AnyScenario union, so Runner.Run accepts it directly.
+func (PopulationScenario) anyScenario() {}
+
 // RunPopulation executes one population scenario on the simulation
+// engines and returns the full PopulationResult (Measure and the
+// population-specific convergence fields included).
+//
+// Deprecated: Runner.Run accepts a PopulationScenario directly and is
+// the single entry point for every scenario kind; use it unless the
+// population-specific result fields are needed. RunPopulation remains a
+// supported thin wrapper over the same execution path — the two run
+// identical traces.
+func (r Runner) RunPopulation(ctx context.Context, s PopulationScenario) (PopulationResult, error) {
+	return r.runPopulation(ctx, s)
+}
+
+// runPopulation executes one population scenario on the simulation
 // engines. EngineSequential runs the shard passes inline;
 // EngineSharded runs them on the worker pool; both execute the same
 // trace, bit-identical for every worker count at a fixed shard count.
 // Other engines reject the scenario. Cancelling ctx stops the run at
 // the next super-step boundary and returns ctx.Err() alongside the
 // partial result.
-func (r Runner) RunPopulation(ctx context.Context, s PopulationScenario) (PopulationResult, error) {
+func (r Runner) runPopulation(ctx context.Context, s PopulationScenario) (PopulationResult, error) {
 	var workers int
 	switch r.engine {
 	case EngineSequential:
@@ -155,6 +172,9 @@ func (r Runner) RunPopulation(ctx context.Context, s PopulationScenario) (Popula
 
 // RunPopulation executes the scenario with default runner options — the
 // sequential driver unless opts say otherwise.
+//
+// Deprecated: Run accepts a PopulationScenario directly; use it unless
+// the population-specific result fields are needed.
 func RunPopulation(ctx context.Context, s PopulationScenario, opts ...RunnerOption) (PopulationResult, error) {
-	return NewRunner(opts...).RunPopulation(ctx, s)
+	return NewRunner(opts...).runPopulation(ctx, s)
 }

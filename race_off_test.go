@@ -1,0 +1,8 @@
+//go:build !race
+
+package regcast_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// the twin file race_on_test.go carries the true case. Memory-budget
+// assertions skip under race: instrumentation inflates every allocation.
+const raceEnabled = false

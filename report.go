@@ -37,6 +37,16 @@ type CellReport struct {
 	// sweep ran with Timing (it is machine-dependent, so deterministic
 	// reports omit it).
 	WallClockMS float64 `json:"wall_clock_ms,omitempty"`
+	// AllocBPerOp is the cell's heap allocation per replication
+	// (runtime.MemStats TotalAlloc delta over the cell, divided by its
+	// replication count — topology construction included); present only
+	// when the sweep ran with MemStats. Like wall-clock it is
+	// environment-dependent (GC timing, pool width), so deterministic
+	// reports omit it; it is the bench trajectory's memory-wall metric.
+	AllocBPerOp uint64 `json:"alloc_b_per_op,omitempty"`
+	// HeapSysBytes is the heap the process held from the OS after the
+	// cell ran (runtime.MemStats HeapSys); present only with MemStats.
+	HeapSysBytes uint64 `json:"heap_sys_bytes,omitempty"`
 }
 
 // Report is the stable, machine-readable output of a Sweep: one cell per
@@ -86,7 +96,7 @@ var csvHeader = []string{
 	"transmissions_mean", "transmissions_stddev", "transmissions_p50",
 	"tx_per_node_mean", "tx_per_node_p50",
 	"informed_frac_mean", "informed_frac_min",
-	"wall_clock_ms",
+	"wall_clock_ms", "alloc_b_per_op", "heap_sys_bytes",
 }
 
 // WriteCSV serialises the report as one CSV row per cell with a fixed
@@ -109,6 +119,8 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			fnum(c.TxPerNode.Mean), fnum(c.TxPerNode.P50),
 			fnum(c.InformedFrac.Mean), fnum(c.InformedFrac.Min),
 			fnum(c.WallClockMS),
+			strconv.FormatUint(c.AllocBPerOp, 10),
+			strconv.FormatUint(c.HeapSysBytes, 10),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -147,16 +147,85 @@ type Result struct {
 	PerRound []RoundStats
 }
 
+// AnyScenario is the sealed union of the scenario kinds a Runner can
+// execute: Scenario (phone-call broadcast) and PopulationScenario
+// (pairwise-interaction protocols), by value or pointer. It exists so
+// Runner.Run is the single entry point for every workload — the
+// deprecated RunPopulation pair survives as thin wrappers. The interface
+// is sealed (the marker method is unexported); external types cannot
+// implement it, which is what lets Run's type switch be exhaustive.
+type AnyScenario interface {
+	anyScenario()
+}
+
 // Run executes the scenario with default runner options — the sequential
 // engine unless opts say otherwise.
-func Run(ctx context.Context, s Scenario, opts ...RunnerOption) (Result, error) {
+func Run(ctx context.Context, s AnyScenario, opts ...RunnerOption) (Result, error) {
 	return NewRunner(opts...).Run(ctx, s)
 }
 
-// Run executes one scenario. Cancelling ctx stops the run at the next
-// round boundary and returns ctx.Err() alongside the partial result
-// accumulated so far.
-func (r Runner) Run(ctx context.Context, s Scenario) (Result, error) {
+// Run executes one scenario of any kind. Cancelling ctx stops the run at
+// the next round boundary and returns ctx.Err() alongside the partial
+// result accumulated so far.
+//
+// A PopulationScenario's PopulationResult is folded into the shared
+// Result shape with the same fixed mapping PopulationBatch uses: Rounds
+// is the super-steps executed, ChannelsDialed the total interactions
+// (the work analogue of the dial budget), AllInformed the converged
+// flag; on convergence Informed is N, FirstAllInformed the convergence
+// super-step and Transmissions the interactions to convergence,
+// otherwise Informed is 0, FirstAllInformed -1 and Transmissions the
+// total (budget-censored) interactions. Programs that need the
+// population-specific fields (Measure, final states) keep using
+// RunPopulation.
+func (r Runner) Run(ctx context.Context, s AnyScenario) (Result, error) {
+	switch sc := s.(type) {
+	case Scenario:
+		return r.runScenario(ctx, sc)
+	case *Scenario:
+		return r.runScenario(ctx, *sc)
+	case PopulationScenario:
+		pres, err := r.runPopulation(ctx, sc)
+		if err != nil {
+			return Result{}, err
+		}
+		return populationResult(r.engine, sc.N, pres), nil
+	case *PopulationScenario:
+		pres, err := r.runPopulation(ctx, *sc)
+		if err != nil {
+			return Result{}, err
+		}
+		return populationResult(r.engine, sc.N, pres), nil
+	case nil:
+		return Result{}, fmt.Errorf("regcast: nil scenario")
+	default:
+		// Unreachable while AnyScenario stays sealed.
+		return Result{}, fmt.Errorf("regcast: unsupported scenario kind %T", s)
+	}
+}
+
+// populationResult maps a PopulationResult onto the engine-independent
+// Result shape (see Runner.Run for the field-by-field contract).
+func populationResult(engine Engine, n int, pres PopulationResult) Result {
+	res := Result{
+		Engine:           engine,
+		Rounds:           pres.Steps,
+		AliveNodes:       n,
+		AllInformed:      pres.Converged,
+		FirstAllInformed: -1,
+		Transmissions:    pres.Interactions,
+		ChannelsDialed:   pres.Interactions,
+	}
+	if pres.Converged {
+		res.Informed = n
+		res.FirstAllInformed = pres.ConvergedAt
+		res.Transmissions = pres.ConvergedInteractions
+	}
+	return res
+}
+
+// runScenario executes one phone-call scenario.
+func (r Runner) runScenario(ctx context.Context, s Scenario) (Result, error) {
 	if err := s.validate(); err != nil {
 		return Result{}, err
 	}

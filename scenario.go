@@ -40,6 +40,10 @@ type Scenario struct {
 	observers []Observer
 }
 
+// anyScenario marks Scenario as a member of the sealed AnyScenario
+// union accepted by Runner.Run.
+func (Scenario) anyScenario() {}
+
 // ScenarioOption customises a Scenario under construction.
 type ScenarioOption func(*Scenario)
 

@@ -3,6 +3,7 @@ package regcast
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -149,6 +150,15 @@ type Sweep struct {
 	// guarantee; turn it on for perf-trajectory reports (regcast-bench
 	// -timing).
 	Timing bool
+	// MemStats samples runtime.MemStats around each cell and records the
+	// allocation per replication (topology construction included) and the
+	// post-cell OS heap in the Report — the memory-wall companion to
+	// Timing, and like it environment-dependent, so it breaks the
+	// bit-identical-output guarantee and is off by default
+	// (regcast-bench -mem). Each cell pays one runtime.GC() so the
+	// TotalAlloc delta is not polluted by a collection mid-cell changing
+	// allocation batching.
+	MemStats bool
 }
 
 // Points materialises the grid in row-major order, with each cell's
@@ -195,6 +205,11 @@ func (s Sweep) Run(ctx context.Context) (*Report, error) {
 	}
 	for _, p := range points {
 		var res BatchResult
+		var memBefore runtime.MemStats
+		if s.MemStats {
+			runtime.GC()
+			runtime.ReadMemStats(&memBefore)
+		}
 		start := time.Now()
 		if s.Build != nil {
 			b, err := s.Build(p)
@@ -247,6 +262,14 @@ func (s Sweep) Run(ctx context.Context) (*Report, error) {
 		}
 		if s.Timing {
 			cell.WallClockMS = float64(time.Since(start).Microseconds()) / 1000
+		}
+		if s.MemStats {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			if res.Replications > 0 {
+				cell.AllocBPerOp = (after.TotalAlloc - memBefore.TotalAlloc) / uint64(res.Replications)
+			}
+			cell.HeapSysBytes = after.HeapSys
 		}
 		report.Cells = append(report.Cells, cell)
 	}

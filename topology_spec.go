@@ -30,10 +30,34 @@ type TopologySpec interface {
 	Build(rep int, rng *Rand) (Topology, error)
 }
 
+// SpecNodeCount returns the node-id-space size spec would build, without
+// building it, or -1 when the spec does not declare one. Every spec in
+// this package answers; cmds use it to size output without paying for
+// construction.
+func SpecNodeCount(spec TopologySpec) int {
+	if nc, ok := spec.(interface{ NodeCount() int }); ok {
+		return nc.NodeCount()
+	}
+	return -1
+}
+
+// SpecImplicit reports whether spec builds an implicit (computed-
+// adjacency) topology — one the engine drives through ImplicitViewer
+// arithmetic instead of materialised CSR arrays. Specs without an
+// Implicit method are dense.
+func SpecImplicit(spec TopologySpec) bool {
+	if im, ok := spec.(interface{ Implicit() bool }); ok {
+		return im.Implicit()
+	}
+	return false
+}
+
 // fixedSpec wraps an existing Topology instance as a constant spec.
 type fixedSpec struct{ topo Topology }
 
 func (s fixedSpec) Build(int, *Rand) (Topology, error) { return s.topo, nil }
+
+func (s fixedSpec) NodeCount() int { return s.topo.NumNodes() }
 
 // FixedTopology wraps a concrete Topology instance as a constant
 // TopologySpec: Build returns the same instance for every replication.
@@ -58,6 +82,9 @@ func (s RegularGraphSpec) Build(rep int, rng *Rand) (Topology, error) {
 	return Static(g), nil
 }
 
+// NodeCount implements the SpecNodeCount query.
+func (s RegularGraphSpec) NodeCount() int { return s.N }
+
 // ConfigurationModelSpec builds a random d-regular multigraph by the
 // pairing model of the paper's §1.2; with Erased set, self-loops are
 // dropped and parallel edges collapsed (degrees then at most D).
@@ -79,6 +106,9 @@ func (s ConfigurationModelSpec) Build(rep int, rng *Rand) (Topology, error) {
 	return Static(g), nil
 }
 
+// NodeCount implements the SpecNodeCount query.
+func (s ConfigurationModelSpec) NodeCount() int { return s.N }
+
 // GnpSpec builds an Erdős–Rényi random graph G(n, p) per replication.
 type GnpSpec struct {
 	N int
@@ -94,36 +124,154 @@ func (s GnpSpec) Build(rep int, rng *Rand) (Topology, error) {
 	return Static(g), nil
 }
 
+// NodeCount implements the SpecNodeCount query.
+func (s GnpSpec) NodeCount() int { return s.N }
+
 // HypercubeSpec builds the Dim-dimensional hypercube on 2^Dim nodes. The
 // construction is deterministic; replications differ only in their run
 // randomness.
+//
+// By default the topology is implicit: adjacency is the bit-flip
+// arithmetic NeighborAt(v, i) = v XOR 2^i and no neighbour array is
+// built, which is what takes a single box past the materialised path's
+// memory wall (Dim ≤ 26 dense, ≤ 30 implicit). Set Dense to materialise
+// the CSR arrays instead. The two are interchangeable: the dense
+// generator is defined as Materialize over the implicit family, so runs
+// are bit-identical wherever both fit.
 type HypercubeSpec struct {
-	Dim int
+	Dim   int
+	Dense bool
 }
 
 // Build implements TopologySpec.
 func (s HypercubeSpec) Build(int, *Rand) (Topology, error) {
-	g, err := graph.Hypercube(s.Dim)
+	if s.Dense {
+		g, err := graph.Hypercube(s.Dim)
+		if err != nil {
+			return nil, err
+		}
+		return Static(g), nil
+	}
+	h, err := graph.NewImplicitHypercube(s.Dim)
 	if err != nil {
 		return nil, err
 	}
-	return Static(g), nil
+	return phonecall.NewImplicit(h), nil
 }
+
+// NodeCount implements the SpecNodeCount query.
+func (s HypercubeSpec) NodeCount() int { return 1 << s.Dim }
+
+// Implicit reports whether Build returns a computed-adjacency topology.
+func (s HypercubeSpec) Implicit() bool { return !s.Dense }
 
 // TorusSpec builds the Rows×Cols 2D torus (4-regular). The construction
 // is deterministic; replications differ only in their run randomness.
+// Implicit by default (neighbour order up, down, left, right per cell);
+// set Dense to materialise — the dense generator is Materialize over the
+// implicit family, so the two run bit-identically.
 type TorusSpec struct {
 	Rows, Cols int
+	Dense      bool
 }
 
 // Build implements TopologySpec.
 func (s TorusSpec) Build(int, *Rand) (Topology, error) {
-	g, err := graph.Torus(s.Rows, s.Cols)
+	if s.Dense {
+		g, err := graph.Torus(s.Rows, s.Cols)
+		if err != nil {
+			return nil, err
+		}
+		return Static(g), nil
+	}
+	t, err := graph.NewImplicitTorus(s.Rows, s.Cols)
 	if err != nil {
 		return nil, err
 	}
-	return Static(g), nil
+	return phonecall.NewImplicit(t), nil
 }
+
+// NodeCount implements the SpecNodeCount query.
+func (s TorusSpec) NodeCount() int { return s.Rows * s.Cols }
+
+// Implicit reports whether Build returns a computed-adjacency topology.
+func (s TorusSpec) Implicit() bool { return !s.Dense }
+
+// GnpStreamSpec builds a seeded streaming G(n, p): a directed
+// Erdős–Rényi graph whose rows are regenerated on demand by replaying a
+// per-row PRNG stream (counter-mode seeding), storing one degree counter
+// per node instead of the adjacency — 4 B/node where GnpSpec pays
+// ~8(1+np) B/node. Each replication draws a fresh graph seed from rng,
+// mirroring GnpSpec's fresh graph per replication. Set Dense to
+// materialise the same graph into CSR arrays; for equal (rep, rng) the
+// dense and implicit variants build identical adjacency, so runs are
+// bit-identical.
+//
+// The digraph view matches the phone-call model: each caller dials from
+// its own out-arc list. Unlike GnpSpec the underlying graph is directed
+// (arcs (v,w) and (w,v) are independent), so the two specs are distinct
+// families, not dense/implicit twins of one another.
+type GnpStreamSpec struct {
+	N     int
+	P     float64
+	Dense bool
+}
+
+// Build implements TopologySpec.
+func (s GnpStreamSpec) Build(rep int, rng *Rand) (Topology, error) {
+	f, err := graph.NewGnpStream(s.N, s.P, rng.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	if s.Dense {
+		g, err := graph.Materialize(f)
+		if err != nil {
+			return nil, err
+		}
+		return Static(g), nil
+	}
+	return phonecall.NewImplicit(f), nil
+}
+
+// NodeCount implements the SpecNodeCount query.
+func (s GnpStreamSpec) NodeCount() int { return s.N }
+
+// Implicit reports whether Build returns a computed-adjacency topology.
+func (s GnpStreamSpec) Implicit() bool { return !s.Dense }
+
+// RegularStreamSpec builds a seeded streaming d-regular multigraph
+// (D even): the union of D/2 pseudorandom-permutation 2-factors, with
+// O(1) arithmetic adjacency and zero per-node storage — the regenerable
+// stand-in for RegularGraphSpec at scales where pairing-model
+// construction (O(n·d) memory) is unaffordable. Each replication draws
+// a fresh seed from rng. Set Dense to materialise the same multigraph;
+// dense and implicit runs are bit-identical for equal (rep, rng).
+type RegularStreamSpec struct {
+	N, D  int
+	Dense bool
+}
+
+// Build implements TopologySpec.
+func (s RegularStreamSpec) Build(rep int, rng *Rand) (Topology, error) {
+	f, err := graph.NewRegularStream(s.N, s.D, rng.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	if s.Dense {
+		g, err := graph.Materialize(f)
+		if err != nil {
+			return nil, err
+		}
+		return Static(g), nil
+	}
+	return phonecall.NewImplicit(f), nil
+}
+
+// NodeCount implements the SpecNodeCount query.
+func (s RegularStreamSpec) NodeCount() int { return s.N }
+
+// Implicit reports whether Build returns a computed-adjacency topology.
+func (s RegularStreamSpec) Implicit() bool { return !s.Dense }
 
 // OverlaySpec builds the paper's headline setting: a maintained d-regular
 // peer-to-peer overlay, optionally churning between rounds. Each
@@ -146,6 +294,15 @@ type OverlaySpec struct {
 	JoinProb  float64
 	LeaveProb float64
 	MixSteps  int
+}
+
+// NodeCount implements the SpecNodeCount query: the id-space size is N
+// alive peers plus the headroom slots (Headroom 0 means N).
+func (s OverlaySpec) NodeCount() int {
+	if s.Headroom == 0 {
+		return 2 * s.N
+	}
+	return s.N + s.Headroom
 }
 
 // churns reports whether the spec attaches a churner.

@@ -28,6 +28,16 @@ type (
 	// can too (see the documentation on phonecall.CSRViewer for the
 	// epoch and liveness-bitset rules).
 	CSRViewer = phonecall.CSRViewer
+	// ImplicitViewer marks topologies with computed adjacency — the second
+	// viewer contract behind the fast path, for families whose neighbours
+	// are arithmetic (hypercube, torus, seeded streaming graphs) so no
+	// adjacency array is ever built. See phonecall.ImplicitViewer for the
+	// epoch and liveness-bitset rules, which mirror CSRViewer exactly.
+	ImplicitViewer = phonecall.ImplicitViewer
+	// ImplicitNeighbors is the computable-adjacency surface consumed by
+	// ImplicitViewer: Degree and NeighborAt arithmetic that must enumerate
+	// exactly what a materialised CSR row would hold.
+	ImplicitNeighbors = phonecall.ImplicitNeighbors
 	// DialStrategy selects the neighbour-selection discipline.
 	DialStrategy = phonecall.DialStrategy
 	// RoundStats carries the per-round metrics streamed to observers and
@@ -73,6 +83,22 @@ func NewRegularGraph(n, d int, rng *Rand) (*Graph, error) {
 
 // Static wraps an immutable graph as a Topology.
 func Static(g *Graph) Topology { return phonecall.NewStatic(g) }
+
+// ImplicitTopology wraps a computed-adjacency graph family as a
+// Topology, the algebraic twin of Static: every node alive, adjacency
+// evaluated per draw through the fast path's ImplicitViewer contract,
+// no neighbour array ever built. NeighborAt(v, i) for i in
+// [0, Degree(v)) must enumerate exactly the multiset a materialised CSR
+// row would hold, in the same order, must be goroutine-safe, and must
+// not draw shared randomness at query time. The built-in implicit specs
+// (HypercubeSpec, TorusSpec, GnpStreamSpec, RegularStreamSpec) route
+// through this same wrapper.
+func ImplicitTopology(f interface {
+	NumNodes() int
+	ImplicitNeighbors
+}) Topology {
+	return phonecall.NewImplicit(f)
+}
 
 // NewFourChoice returns the paper's headline protocol for an n-node
 // d-regular network: four distinct dials per round on a phased
