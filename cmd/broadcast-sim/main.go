@@ -9,6 +9,8 @@
 //	broadcast-sim -n 1000000 -d 16 -protocol push -workers -1   # sharded engine
 //	broadcast-sim -topology hypercube:dim=27 -protocol push -stop-early -mem
 //	broadcast-sim -scheduler interactions -n 1024 -trace        # population demo
+//	broadcast-sim -n 32 -d 6 -daemon                            # gossip daemon over sockets
+//	broadcast-sim -n 32 -d 6 -chaos -chaos-drop 0.2             # + seeded fault injection
 //
 // Protocols: fourchoice (auto variant), algorithm1, algorithm2, seq
 // (sequentialised four-choice), push, pull, pushpull. With
@@ -57,9 +59,13 @@ func run() error {
 		stopEarly = flag.Bool("stop-early", false, "stop as soon as every node is informed (skip the schedule's tail)")
 		mem       = flag.Bool("mem", false, "report allocation totals (runtime.MemStats) for the run")
 		common    = regcast.AddCommonFlags(flag.CommandLine)
+		tflags    = regcast.AddTransportFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
+		return err
+	}
+	if err := tflags.Validate(); err != nil {
 		return err
 	}
 	if common.Scheduler() == regcast.SchedulerInteractions {
@@ -74,6 +80,9 @@ func run() error {
 
 	master := common.Rand()
 	spec := common.TopologySpec()
+	if tflags.Daemon && spec != nil {
+		return fmt.Errorf("-daemon/-chaos need the dense -n/-d graph (transport engines require a Static topology)")
+	}
 	if spec != nil {
 		if nn := regcast.SpecNodeCount(spec); nn > 0 {
 			*n = nn // protocol horizons are functions of n
@@ -160,7 +169,8 @@ func run() error {
 		return err
 	}
 	start := time.Now()
-	res, err := regcast.Run(context.Background(), scenario, common.RunnerOptions()...)
+	ropts := append(common.RunnerOptions(), tflags.RunnerOptions(*n, common.Seed)...)
+	res, err := regcast.Run(context.Background(), scenario, ropts...)
 	if err != nil {
 		return err
 	}
@@ -178,6 +188,9 @@ func run() error {
 	fmt.Printf("transmissions: %d (%.2f per node)\n", res.Transmissions, float64(res.Transmissions)/float64(*n))
 	fmt.Printf("channels dialled: %d\n", res.ChannelsDialed)
 	fmt.Printf("wall clock: %s\n", elapsed.Round(time.Millisecond))
+	if res.Transport != nil {
+		printTransportHealth(res.Transport)
+	}
 	if *mem {
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)
@@ -186,6 +199,24 @@ func run() error {
 			float64(alloc)/(1<<20), float64(alloc)/float64(*n), float64(after.HeapSys)/(1<<20))
 	}
 	return nil
+}
+
+// printTransportHealth renders the daemon's metrics ledger and, under
+// -chaos, the fault-injection ledger.
+func printTransportHealth(h *regcast.TransportHealth) {
+	fmt.Printf("daemon: sends=%d delivered=%d deduped=%d dropped=%d ledger-gap=%d\n",
+		h.Sends, h.Delivered, h.Deduped, h.DroppedTotal(), h.LedgerGap())
+	fmt.Printf("daemon: dials=%d redials=%d dial-fails=%d retries=%d evictions=%d wire-lost=%d\n",
+		h.Dials, h.Redials, h.DialFails, h.Retries, h.BudgetEvictions, h.WireLost())
+	states := map[string]int{}
+	for _, p := range h.Peers {
+		states[p.StateStr]++
+	}
+	fmt.Printf("daemon: peers %v\n", states)
+	if f := h.Faults; f != nil {
+		fmt.Printf("chaos: in=%d forwarded=%d dropped=%d partition-drops=%d crash-drops=%d dup=%d delayed=%d reordered=%d\n",
+			f.In, f.Forwarded, f.Dropped, f.PartitionDrops, f.CrashDrops, f.Duplicated, f.Delayed, f.Reordered)
+	}
 }
 
 // runPopulation is the -scheduler interactions path: one leader-election

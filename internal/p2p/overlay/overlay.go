@@ -41,7 +41,14 @@ type Overlay struct {
 	epoch     uint64 // bumped by every mutating operation
 	rng       *xrand.Rand
 	freeIDs   []int32
+	watchers  []MembershipFunc
 }
+
+// MembershipFunc receives membership events: joined reports whether id
+// just joined (true) or left (false). This is the overlay's peer
+// discovery feed — the transport daemon subscribes so churn-discovered
+// peers become dialable and departed ones stop being dialed.
+type MembershipFunc func(id int, joined bool)
 
 var _ phonecall.Topology = (*Overlay)(nil)
 var _ phonecall.CSRViewer = (*Overlay)(nil)
@@ -142,6 +149,20 @@ func (o *Overlay) Neighbor(v, i int) int { return int(o.adj[v][i]) }
 // Alive implements phonecall.Topology.
 func (o *Overlay) Alive(v int) bool { return o.alive[v] }
 
+// OnMembership subscribes fn to join/leave events. Callbacks fire
+// synchronously inside Join and Leave, after the topology mutation is
+// complete; they must not mutate the overlay re-entrantly.
+func (o *Overlay) OnMembership(fn MembershipFunc) {
+	o.watchers = append(o.watchers, fn)
+}
+
+// notify fans one membership event out to the subscribers.
+func (o *Overlay) notify(id int, joined bool) {
+	for _, fn := range o.watchers {
+		fn(id, joined)
+	}
+}
+
 // Join splices a new peer into the overlay and returns its id. The new
 // peer takes over d/2 randomly chosen existing edges (u,w), replacing each
 // with the pair (u,new),(w,new); all degrees stay exactly d.
@@ -169,6 +190,7 @@ func (o *Overlay) Join() (int, error) {
 		o.addEdge(int(w), int32(id))
 	}
 	o.setAlive(id, true)
+	o.notify(id, true)
 	return id, nil
 }
 
@@ -204,6 +226,7 @@ func (o *Overlay) Leave(v int) error {
 	for i := 0; i+1 < len(dangling); i += 2 {
 		o.addEdge(int(dangling[i]), dangling[i+1])
 	}
+	o.notify(v, false)
 	return nil
 }
 

@@ -299,3 +299,58 @@ type churningTopology struct {
 }
 
 func (c churningTopology) Step(round int) []int { return c.ch.Step(round) }
+
+// membershipEvent is one OnMembership callback invocation.
+type membershipEvent struct {
+	id     int
+	joined bool
+}
+
+func TestMembershipEvents(t *testing.T) {
+	o := newTestOverlay(t, 16, 4, 8, 5)
+	var events []membershipEvent
+	o.OnMembership(func(id int, joined bool) {
+		events = append(events, membershipEvent{id, joined})
+	})
+	// A second subscriber sees the same feed (fan-out).
+	second := 0
+	o.OnMembership(func(int, bool) { second++ })
+
+	id, err := o.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Leave(3); err != nil {
+		t.Fatal(err)
+	}
+	wid, err := o.WalkJoin(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []membershipEvent{{id, true}, {3, false}, {wid, true}}
+	if len(events) != len(want) {
+		t.Fatalf("saw %d membership events, want %d: %+v", len(events), len(want), events)
+	}
+	for i, ev := range events {
+		if ev != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+	if second != len(want) {
+		t.Errorf("second subscriber saw %d events, want %d", second, len(want))
+	}
+	// Events fire after the mutation: the overlay must already be
+	// consistent inside a callback. Verify post-hoc that the final state
+	// matches the event log.
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// WalkJoin may recycle the id Leave just freed; only when it picked a
+	// different slot must 3 still be dead.
+	if wid != 3 && o.Alive(3) {
+		t.Error("departed peer 3 still alive")
+	}
+	if !o.Alive(wid) {
+		t.Error("walk-joined peer not alive")
+	}
+}

@@ -83,5 +83,6 @@ func (o *Overlay) WalkJoin(contact, walkLen int) (int, error) {
 		}
 	}
 	o.setAlive(id, true)
+	o.notify(id, true)
 	return id, nil
 }

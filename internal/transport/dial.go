@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"regcast/internal/xrand"
+)
+
+// dialScheduler owns the daemon's outbound connection policy, in the
+// style of geth's p2p dialScheduler: a per-peer dial history gates
+// redials behind exponential backoff with jitter, and a global connection
+// budget caps simultaneously open links, evicting the least-recently-used
+// idle dynamic connection when a new dial would exceed it. Static peers
+// are pinned — they are never budget-evicted and survive discovery
+// removal — while dynamic peers arrive and depart through the discovery
+// feed (Daemon.AddPeer / RemovePeer).
+type dialScheduler struct {
+	mu      sync.Mutex
+	rng     *xrand.Rand // jitter source, seeded: schedules are reproducible
+	base    time.Duration
+	max     time.Duration
+	budget  int // max open connections; 0 = unlimited
+	open    int
+	history map[int]*dialRecord
+}
+
+// dialRecord is one peer's dial history entry.
+type dialRecord struct {
+	fails int       // consecutive failures
+	until time.Time // quarantine expiry: no dial before this instant
+	ever  bool      // a connection to this peer succeeded at least once
+}
+
+func newDialScheduler(base, max time.Duration, budget int, seed uint64) *dialScheduler {
+	return &dialScheduler{
+		rng:     xrand.New(seed),
+		base:    base,
+		max:     max,
+		budget:  budget,
+		history: make(map[int]*dialRecord),
+	}
+}
+
+func (s *dialScheduler) record(peer int) *dialRecord {
+	r := s.history[peer]
+	if r == nil {
+		r = &dialRecord{}
+		s.history[peer] = r
+	}
+	return r
+}
+
+// quarantined reports whether peer sits inside its backoff window.
+func (s *dialScheduler) quarantined(peer int, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.history[peer]
+	return r != nil && now.Before(r.until)
+}
+
+// quarantineUntil returns the end of the peer's current backoff window
+// (zero time when none).
+func (s *dialScheduler) quarantineUntil(peer int) time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r := s.history[peer]; r != nil {
+		return r.until
+	}
+	return time.Time{}
+}
+
+// onSuccess clears the peer's failure history and reports whether this
+// was a redial (the peer had connected before).
+func (s *dialScheduler) onSuccess(peer int) (redial bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.record(peer)
+	redial = r.ever
+	r.fails = 0
+	r.until = time.Time{}
+	r.ever = true
+	return redial
+}
+
+// onFailure bumps the peer's failure count and opens a backoff window of
+// base·2^(fails−1), capped at max, with ±25% seeded jitter so a cohort of
+// failed peers does not redial in lockstep.
+func (s *dialScheduler) onFailure(peer int, now time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.record(peer)
+	r.fails++
+	backoff := s.base << uint(min(r.fails-1, 16))
+	if backoff > s.max || backoff <= 0 {
+		backoff = s.max
+	}
+	jitter := 0.75 + 0.5*s.rng.Float64()
+	backoff = time.Duration(float64(backoff) * jitter)
+	r.until = now.Add(backoff)
+	return backoff
+}
+
+// fails returns the peer's consecutive failure count.
+func (s *dialScheduler) failCount(peer int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r := s.history[peer]; r != nil {
+		return r.fails
+	}
+	return 0
+}
+
+// acquireSlot accounts a new open connection against the budget. When the
+// budget is exhausted it asks evict (called without the scheduler lock)
+// to close one idle connection; evict reports whether it freed a slot.
+// The dial proceeds either way — the budget bounds steady-state conns,
+// it must not deadlock a fully-busy link set.
+func (s *dialScheduler) acquireSlot(evict func() bool) (evicted bool) {
+	s.mu.Lock()
+	over := s.budget > 0 && s.open >= s.budget
+	s.mu.Unlock()
+	if over && evict != nil {
+		evicted = evict()
+	}
+	s.mu.Lock()
+	s.open++
+	s.mu.Unlock()
+	return evicted
+}
+
+// releaseSlot accounts a closed connection.
+func (s *dialScheduler) releaseSlot() {
+	s.mu.Lock()
+	if s.open > 0 {
+		s.open--
+	}
+	s.mu.Unlock()
+}
+
+// openConns returns the number of connections currently accounted open.
+func (s *dialScheduler) openConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.open
+}

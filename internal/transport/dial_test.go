@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDialSchedulerBackoffGrowsAndCaps(t *testing.T) {
+	s := newDialScheduler(100*time.Millisecond, time.Second, 0, 1)
+	now := time.Now()
+	// Windows double per consecutive failure (±25% jitter) up to the cap.
+	wantBase := []time.Duration{100, 200, 400, 800, 1000, 1000}
+	for i, base := range wantBase {
+		got := s.onFailure(0, now)
+		lo := time.Duration(float64(base*time.Millisecond) * 0.75)
+		hi := time.Duration(float64(base*time.Millisecond) * 1.25)
+		if got < lo || got > hi {
+			t.Errorf("failure %d: backoff %v outside [%v, %v]", i+1, got, lo, hi)
+		}
+	}
+	if s.failCount(0) != len(wantBase) {
+		t.Errorf("failCount = %d, want %d", s.failCount(0), len(wantBase))
+	}
+}
+
+func TestDialSchedulerQuarantineWindow(t *testing.T) {
+	s := newDialScheduler(100*time.Millisecond, time.Second, 0, 1)
+	now := time.Now()
+	if s.quarantined(0, now) {
+		t.Error("fresh peer quarantined")
+	}
+	backoff := s.onFailure(0, now)
+	if !s.quarantined(0, now) {
+		t.Error("peer not quarantined right after a failure")
+	}
+	if s.quarantined(0, now.Add(backoff+time.Millisecond)) {
+		t.Error("quarantine outlived its window")
+	}
+	until := s.quarantineUntil(0)
+	if until.Before(now) || until.After(now.Add(2*time.Second)) {
+		t.Errorf("quarantineUntil %v implausible", until.Sub(now))
+	}
+}
+
+func TestDialSchedulerSuccessClearsHistory(t *testing.T) {
+	s := newDialScheduler(100*time.Millisecond, time.Second, 0, 1)
+	now := time.Now()
+	if redial := s.onSuccess(0); redial {
+		t.Error("first-ever success reported as redial")
+	}
+	s.onFailure(0, now)
+	s.onFailure(0, now)
+	if redial := s.onSuccess(0); !redial {
+		t.Error("success after a prior connection not reported as redial")
+	}
+	if s.failCount(0) != 0 {
+		t.Error("success did not clear the failure count")
+	}
+	if s.quarantined(0, now) {
+		t.Error("success did not clear the quarantine window")
+	}
+}
+
+func TestDialSchedulerBudget(t *testing.T) {
+	s := newDialScheduler(time.Millisecond, time.Millisecond, 1, 1)
+	if evicted := s.acquireSlot(nil); evicted {
+		t.Error("first slot triggered eviction")
+	}
+	if s.openConns() != 1 {
+		t.Errorf("openConns = %d, want 1", s.openConns())
+	}
+	called := false
+	if evicted := s.acquireSlot(func() bool { called = true; return true }); !evicted || !called {
+		t.Error("over-budget acquire did not evict")
+	}
+	// The dial proceeds either way; the budget must never deadlock.
+	if evicted := s.acquireSlot(func() bool { return false }); evicted {
+		t.Error("failed eviction reported as eviction")
+	}
+	for i := 0; i < 5; i++ {
+		s.releaseSlot()
+	}
+	if s.openConns() != 0 {
+		t.Errorf("openConns = %d after releases, want 0 (never negative)", s.openConns())
+	}
+}

@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// dupemap is an expiring duplicate-suppression set in the style of the
+// dusk-blockchain dupemap/tmpmap: keys live in a ring of generation
+// buckets, lookups probe every generation, inserts go to the current one,
+// and Rotate advances the ring and clears the oldest bucket. A key is
+// therefore remembered for between (gens−1) and gens rotation intervals
+// and then forgotten — which is what makes dedup safe for gossip: even a
+// key that slipped in without a delivery (it cannot, see Daemon.receive,
+// but defence in depth) only suppresses its content until expiry.
+//
+// A per-generation capacity bounds memory against key floods: when the
+// current bucket is full, an insert forces an early rotation instead of
+// growing without limit.
+type dupemap struct {
+	mu     sync.Mutex
+	gens   []map[uint64]struct{}
+	cur    int
+	maxGen int // per-generation key capacity
+}
+
+// newDupemap builds a dupemap with the given generation count (>= 2) and
+// per-generation capacity.
+func newDupemap(gens, maxGen int) *dupemap {
+	if gens < 2 {
+		gens = 2
+	}
+	if maxGen <= 0 {
+		maxGen = 1 << 16
+	}
+	m := &dupemap{gens: make([]map[uint64]struct{}, gens), maxGen: maxGen}
+	for i := range m.gens {
+		m.gens[i] = make(map[uint64]struct{})
+	}
+	return m
+}
+
+// Has reports whether key is present in any live generation.
+func (m *dupemap) Has(key uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, g := range m.gens {
+		if _, ok := g[key]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Add records key in the current generation, rotating first if it is at
+// capacity.
+func (m *dupemap) Add(key uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.gens[m.cur]) >= m.maxGen {
+		m.rotateLocked()
+	}
+	m.gens[m.cur][key] = struct{}{}
+}
+
+// Rotate expires the oldest generation and makes it current.
+func (m *dupemap) Rotate() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rotateLocked()
+}
+
+func (m *dupemap) rotateLocked() {
+	m.cur = (m.cur + 1) % len(m.gens)
+	m.gens[m.cur] = make(map[uint64]struct{})
+}
+
+// contentKey hashes a packet's rumour content for deduplication at
+// receiver `to`. Only rumour-bearing packets (push, pull-reply) are
+// deduplicable — a pull request carries a question, not content, and
+// must never be suppressed. The key is content-addressed: the sorted
+// rumour IDs and payloads, independent of sender and kind, so a
+// pull-reply repeating an already-delivered push is suppressed too.
+// Sorting matters because senders snapshot their rumour map in random
+// iteration order.
+func contentKey(to int, p Packet) (uint64, bool) {
+	if len(p.Rumors) == 0 {
+		return 0, false
+	}
+	parts := make([]string, 0, len(p.Rumors))
+	for _, r := range p.Rumors {
+		parts = append(parts, r.ID+"\x00"+r.Payload)
+	}
+	sort.Strings(parts)
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(to) >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	for _, s := range parts {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0x1f})
+	}
+	return h.Sum64(), true
+}

@@ -1,0 +1,75 @@
+package transport
+
+import "testing"
+
+func TestDupemapHasAddRotate(t *testing.T) {
+	m := newDupemap(3, 0)
+	if m.Has(1) {
+		t.Error("empty map claims key")
+	}
+	m.Add(1)
+	if !m.Has(1) {
+		t.Error("key lost right after Add")
+	}
+	// A key survives gens-1 rotations and expires on the gens-th.
+	m.Rotate()
+	m.Rotate()
+	if !m.Has(1) {
+		t.Error("key expired before its generation aged out")
+	}
+	m.Rotate()
+	if m.Has(1) {
+		t.Error("key survived full rotation of the ring")
+	}
+}
+
+func TestDupemapMinimumGenerations(t *testing.T) {
+	m := newDupemap(0, 0)
+	if len(m.gens) != 2 {
+		t.Errorf("gens = %d, want clamp to 2", len(m.gens))
+	}
+}
+
+func TestDupemapCapacityForcesRotation(t *testing.T) {
+	m := newDupemap(2, 4)
+	for k := uint64(0); k < 4; k++ {
+		m.Add(k)
+	}
+	// The current generation is full: the next Add must rotate first
+	// instead of growing without bound.
+	m.Add(99)
+	if got := len(m.gens[m.cur]); got != 1 {
+		t.Errorf("current generation holds %d keys after forced rotation, want 1", got)
+	}
+	if !m.Has(0) || !m.Has(99) {
+		t.Error("keys lost by forced rotation (previous generation must survive)")
+	}
+}
+
+func TestContentKeyProperties(t *testing.T) {
+	a := Packet{Kind: KindPush, Rumors: []Rumor{{ID: "a", Payload: "1"}, {ID: "b", Payload: "2"}}}
+	b := Packet{Kind: KindPullReply, Rumors: []Rumor{{ID: "b", Payload: "2"}, {ID: "a", Payload: "1"}}}
+	ka, ok := contentKey(3, a)
+	if !ok {
+		t.Fatal("rumour-bearing packet not dedupable")
+	}
+	kb, _ := contentKey(3, b)
+	if ka != kb {
+		t.Error("content key depends on rumour order or packet kind")
+	}
+	// Pull requests carry no content and must never be suppressed.
+	if _, ok := contentKey(3, Packet{Kind: KindPullRequest}); ok {
+		t.Error("pull request marked dedupable")
+	}
+	// Different receivers track their own seen-set.
+	kOther, _ := contentKey(4, a)
+	if ka == kOther {
+		t.Error("content key ignores the receiver")
+	}
+	// Different content, different key.
+	c := Packet{Kind: KindPush, Rumors: []Rumor{{ID: "a", Payload: "other"}}}
+	kc, _ := contentKey(3, c)
+	if ka == kc {
+		t.Error("distinct payloads collide")
+	}
+}

@@ -2,11 +2,17 @@ package transport
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
+
+// MaxPacketBytes is the default bound on one wire packet. A peer that
+// sends more than this per packet is treated as malformed: the packet is
+// rejected and counted, and the decoder never buffers unbounded input.
+const MaxPacketBytes = 1 << 20
 
 // TCP is a loopback-socket transport: every node owns a listener on
 // 127.0.0.1, and each Send dials the target and writes one JSON-encoded
@@ -17,6 +23,12 @@ type TCP struct {
 	listeners []net.Listener
 	addrs     []string
 	boxes     []chan Packet
+	maxPacket atomic.Int64 // per-packet decode bound (tests shrink it)
+
+	// oversize counts packets rejected because they exceeded maxPacket;
+	// decodeErrs counts malformed or truncated packets dropped.
+	oversize   atomic.Int64
+	decodeErrs atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -35,6 +47,7 @@ func NewTCP(n, mailbox int) (*TCP, error) {
 		addrs:     make([]string, n),
 		boxes:     make([]chan Packet, n),
 	}
+	t.maxPacket.Store(MaxPacketBytes)
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -55,6 +68,14 @@ func NewTCP(n, mailbox int) (*TCP, error) {
 // Addr returns the listen address of a node (useful for logging).
 func (t *TCP) Addr(node int) string { return t.addrs[node] }
 
+// OversizeDropped returns how many packets were rejected for exceeding
+// MaxPacketBytes.
+func (t *TCP) OversizeDropped() int64 { return t.oversize.Load() }
+
+// DecodeDropped returns how many malformed or truncated packets were
+// dropped.
+func (t *TCP) DecodeDropped() int64 { return t.decodeErrs.Load() }
+
 // acceptLoop accepts connections for node i and decodes one packet per
 // connection into the node's mailbox.
 func (t *TCP) acceptLoop(i int) {
@@ -71,9 +92,19 @@ func (t *TCP) acceptLoop(i int) {
 		go func() {
 			defer t.wg.Done()
 			defer func() { _ = conn.Close() }()
+			// Bound the decoder: a hostile or buggy peer must not be able
+			// to grow this goroutine's buffer without limit. When the limit
+			// is exhausted the decode fails with an unexpected EOF and the
+			// packet is counted as oversized rather than merely malformed.
+			lr := io.LimitReader(conn, t.maxPacket.Load()).(*io.LimitedReader)
 			var p Packet
-			if err := json.NewDecoder(conn).Decode(&p); err != nil {
-				return // malformed or truncated packet: drop
+			if err := json.NewDecoder(lr).Decode(&p); err != nil {
+				if lr.N == 0 {
+					t.oversize.Add(1)
+				} else {
+					t.decodeErrs.Add(1)
+				}
+				return
 			}
 			t.mu.Lock()
 			closed := t.closed
@@ -95,22 +126,36 @@ func (t *TCP) Send(to int, p Packet) error {
 	if to < 0 || to >= len(t.addrs) {
 		return fmt.Errorf("transport: Send to %d out of range [0,%d)", to, len(t.addrs))
 	}
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return errors.New("transport: Send on closed transport")
+	if t.isClosed() {
+		return ErrClosed
 	}
-	t.mu.Unlock()
 	conn, err := net.Dial("tcp", t.addrs[to])
 	if err != nil {
+		// The closed check above races with Close: a Send that passed it
+		// can still lose its listener before the dial lands. Re-check so a
+		// post-Close send reports the closed transport, not a confusing
+		// connection-refused dial failure.
+		if t.isClosed() {
+			return ErrClosed
+		}
 		return fmt.Errorf("transport: dial node %d: %w", to, err)
 	}
 	defer func() { _ = conn.Close() }()
 	p.To = to
 	if err := json.NewEncoder(conn).Encode(p); err != nil {
+		if t.isClosed() {
+			return ErrClosed
+		}
 		return fmt.Errorf("transport: encode to node %d: %w", to, err)
 	}
 	return nil
+}
+
+// isClosed reports the shutdown flag under the lock.
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
 }
 
 // Inbox implements Transport.

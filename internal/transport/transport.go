@@ -7,9 +7,16 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrClosed is returned by Send after the transport has shut down. Every
+// transport returns it (possibly wrapped — test with errors.Is), so
+// callers can distinguish "the transport is gone" from a transient
+// delivery failure deterministically.
+var ErrClosed = errors.New("transport: closed")
 
 // Kind enumerates packet types.
 type Kind int
@@ -97,7 +104,7 @@ func (t *InMem) Send(to int, p Packet) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
-		return fmt.Errorf("transport: Send on closed transport")
+		return ErrClosed
 	}
 	p.To = to
 	select {

@@ -1,12 +1,45 @@
 package transport
 
 import (
+	"errors"
+	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"regcast/internal/graph"
 	"regcast/internal/xrand"
 )
+
+// stepWait returns the budget for one blocking wait, honouring the test
+// binary's -timeout through t.Deadline: the default is clamped so a stuck
+// wait fails this test with slack before the whole binary is killed.
+func stepWait(t *testing.T, def time.Duration) time.Duration {
+	t.Helper()
+	if dl, ok := t.Deadline(); ok {
+		if remain := time.Until(dl) - 250*time.Millisecond; remain < def {
+			if remain < 10*time.Millisecond {
+				return 10 * time.Millisecond
+			}
+			return remain
+		}
+	}
+	return def
+}
+
+// waitCond polls cond until it holds or the deadline-aware budget runs
+// out, failing the test with msg on timeout.
+func waitCond(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(stepWait(t, 2*time.Second))
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached: %s", msg)
+}
 
 func TestKindString(t *testing.T) {
 	if KindPush.String() != "push" || KindPullRequest.String() != "pull-request" ||
@@ -41,7 +74,7 @@ func TestInMemSendReceive(t *testing.T) {
 		if p.From != 0 || p.To != 2 || p.Kind != KindPush || len(p.Rumors) != 1 {
 			t.Errorf("packet mangled: %+v", p)
 		}
-	case <-time.After(time.Second):
+	case <-time.After(stepWait(t, time.Second)):
 		t.Fatal("packet not delivered")
 	}
 }
@@ -67,8 +100,8 @@ func TestInMemSendErrors(t *testing.T) {
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Send(0, Packet{}); err == nil {
-		t.Error("send after close accepted")
+	if err := tr.Send(0, Packet{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close = %v, want ErrClosed", err)
 	}
 	if err := tr.Close(); err != nil {
 		t.Error("double close errored")
@@ -112,7 +145,7 @@ func TestTCPSendReceive(t *testing.T) {
 		if p.From != 0 || p.To != 1 || p.Kind != KindPullRequest {
 			t.Errorf("packet mangled: %+v", p)
 		}
-	case <-time.After(2 * time.Second):
+	case <-time.After(stepWait(t, 2*time.Second)):
 		t.Fatal("TCP packet not delivered")
 	}
 }
@@ -125,11 +158,52 @@ func TestTCPSendAfterClose(t *testing.T) {
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Send(0, Packet{}); err == nil {
-		t.Error("send after close accepted")
+	// The TOCTOU fix: a send racing Close must report the closed
+	// transport, never a confusing dial error — deterministically.
+	for i := 0; i < 16; i++ {
+		if err := tr.Send(0, Packet{}); !errors.Is(err, ErrClosed) {
+			t.Errorf("send %d after close = %v, want ErrClosed", i, err)
+		}
 	}
 	if err := tr.Close(); err != nil {
 		t.Error("double close errored")
+	}
+}
+
+func TestTCPOversizePacketRejected(t *testing.T) {
+	tr, err := NewTCP(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	tr.maxPacket.Store(128) // shrink the bound so the test stays cheap
+	big := Packet{From: 0, Kind: KindPush, Rumors: []Rumor{{ID: "big", Payload: strings.Repeat("x", 1024)}}}
+	if err := tr.Send(0, big); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, func() bool { return tr.OversizeDropped() == 1 }, "oversize packet counted")
+	// A malformed (but in-bounds) packet lands in the decode counter, not
+	// the oversize one.
+	conn, err := net.Dial("tcp", tr.Addr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("{not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+	waitCond(t, func() bool { return tr.DecodeDropped() == 1 }, "malformed packet counted")
+	// An in-bounds packet still goes through on the same transport.
+	if err := tr.Send(0, Packet{From: 0, Kind: KindPullRequest}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-tr.Inbox(0):
+		if p.Kind != KindPullRequest {
+			t.Errorf("wrong packet after rejects: %+v", p)
+		}
+	case <-time.After(stepWait(t, 2*time.Second)):
+		t.Fatal("in-bounds packet not delivered after rejects")
 	}
 }
 
@@ -168,7 +242,7 @@ func driveUntilAllKnow(t *testing.T, c *Cluster, id string, maxTicks int) int {
 		if err := c.Tick(); err != nil {
 			t.Fatal(err)
 		}
-		deadline := time.After(time.Second)
+		deadline := time.After(stepWait(t, time.Second))
 		for c.CountKnowing(id) < c.Size() {
 			select {
 			case <-deadline:

@@ -34,8 +34,15 @@ const (
 	// measured (not simulated) and wall-clock dependent.
 	EngineGossipTransport
 	// EngineTCPTransport is EngineGossipTransport over real loopback TCP
-	// sockets with JSON packets on the wire.
+	// sockets with JSON packets on the wire (one connection per packet —
+	// the simple, fully observable variant).
 	EngineTCPTransport
+	// EngineDaemonTransport is the resilient gossip daemon: persistent
+	// per-peer TCP connections behind a backoff dial scheduler, bounded
+	// per-peer send queues with drop accounting, and expiring-bucket
+	// rumour dedup. Result.Transport carries its health snapshot, and
+	// WithTransportFaults injects reproducible chaos in front of it.
+	EngineDaemonTransport
 )
 
 // String implements fmt.Stringer.
@@ -51,6 +58,8 @@ func (e Engine) String() string {
 		return "gossip-transport"
 	case EngineTCPTransport:
 		return "tcp-transport"
+	case EngineDaemonTransport:
+		return "daemon-transport"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
 	}
@@ -68,6 +77,7 @@ type Runner struct {
 	shards     int
 	mailbox    int
 	noFastPath bool
+	faults     *transport.FaultConfig
 }
 
 // RunnerOption customises a Runner.
@@ -145,6 +155,10 @@ type Result struct {
 	// PerRound holds per-round metrics when the scenario was built with
 	// WithRecordRounds.
 	PerRound []RoundStats
+	// Transport is the transport engine's health snapshot (nil for the
+	// simulation engines): dials, retries, drop accounting, dedup hits,
+	// per-peer state, and — under WithTransportFaults — the fault ledger.
+	Transport *TransportHealth
 }
 
 // AnyScenario is the sealed union of the scenario kinds a Runner can
@@ -245,10 +259,16 @@ func (r Runner) runScenario(ctx context.Context, s Scenario) (Result, error) {
 	}
 	switch r.engine {
 	case EngineSequential, EngineSharded:
+		if r.faults != nil {
+			return Result{}, fmt.Errorf("regcast: WithTransportFaults requires a transport engine, not %v", r.engine)
+		}
 		return r.runSimulation(ctx, s)
 	case EngineGoroutinePerNode:
+		if r.faults != nil {
+			return Result{}, fmt.Errorf("regcast: WithTransportFaults requires a transport engine, not %v", r.engine)
+		}
 		return r.runGoroutinePerNode(ctx, s)
-	case EngineGossipTransport, EngineTCPTransport:
+	case EngineGossipTransport, EngineTCPTransport, EngineDaemonTransport:
 		return r.runTransport(ctx, s)
 	default:
 		return Result{}, fmt.Errorf("regcast: unknown engine %v", r.engine)
@@ -416,13 +436,29 @@ func (r Runner) runTransport(ctx context.Context, s Scenario) (Result, error) {
 		tr  transport.Transport
 		err error
 	)
-	if r.engine == EngineTCPTransport {
+	switch r.engine {
+	case EngineTCPTransport:
 		tr, err = transport.NewTCP(n, mailbox)
-	} else {
+	case EngineDaemonTransport:
+		tr, err = transport.NewDaemon(transport.DaemonConfig{
+			Nodes:   n,
+			Mailbox: mailbox,
+			Seed:    s.runSeed(),
+		})
+	default:
 		tr, err = transport.NewInMem(n, mailbox)
 	}
 	if err != nil {
 		return Result{}, err
+	}
+	var plan *transport.FaultPlan
+	if r.faults != nil {
+		plan, err = transport.NewFaultPlan(tr, *r.faults)
+		if err != nil {
+			tr.Close()
+			return Result{}, err
+		}
+		tr = plan
 	}
 	cluster, err := transport.NewCluster(g, tr, s.proto.Choices(), s.runSeed())
 	if err != nil {
@@ -455,6 +491,11 @@ func (r Runner) runTransport(ctx context.Context, s Scenario) (Result, error) {
 	for t := 1; t <= s.proto.Horizon(); t++ {
 		if halt != nil && halt() {
 			break
+		}
+		if plan != nil {
+			// One tick = one fault epoch: partition and crash windows in
+			// the plan are tick ranges.
+			plan.AdvanceEpoch()
 		}
 		if err := cluster.Tick(); err != nil {
 			return Result{}, err
@@ -498,6 +539,13 @@ func (r Runner) runTransport(ctx context.Context, s Scenario) (Result, error) {
 	res.AllInformed = informed == n
 	res.Transmissions = cluster.PacketsSent()
 	res.InformedAt = informedAt
+	if hr, ok := tr.(transport.HealthReporter); ok {
+		// Close first (idempotent; the deferred Close becomes a no-op) so
+		// the snapshot is a quiescent, fully-accounted ledger.
+		_ = cluster.Close()
+		h := hr.Health()
+		res.Transport = &h
+	}
 	return res, ctxErr(ctx)
 }
 

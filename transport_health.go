@@ -1,0 +1,48 @@
+package regcast
+
+import (
+	"regcast/internal/transport"
+)
+
+// The resilient gossip daemon (EngineDaemonTransport) and its fault
+// injector surface here: health snapshots come back on Result.Transport,
+// and chaos schedules go in through WithTransportFaults. The underlying
+// machinery lives in internal/transport — persistent per-peer
+// connections behind a backoff dial scheduler, bounded send queues with
+// drop accounting, expiring-bucket rumour dedup, and a seeded FaultPlan
+// whose drop/delay/duplicate/reorder/partition/crash decisions are pure
+// functions of (seed, peer pair, packet sequence, epoch), so chaos runs
+// replay bit-identically.
+type (
+	// TransportHealth is a transport engine's metrics snapshot: dials,
+	// redials, retries, per-bucket drop accounting, dedup hits, and
+	// per-peer link state. Its LedgerGap method checks that every packet
+	// handed to Send is accounted by exactly one outcome — zero at
+	// quiescence, asserted by the chaos soak tests.
+	TransportHealth = transport.Health
+	// TransportPeerHealth is one peer's row in a TransportHealth snapshot.
+	TransportPeerHealth = transport.PeerHealth
+	// TransportFaultStats is the fault-injection ledger attached to a
+	// TransportHealth when a chaos run wrapped the transport.
+	TransportFaultStats = transport.FaultStats
+	// FaultConfig is a seeded, reproducible chaos schedule for the
+	// transport engines: probabilistic drop/duplicate/reorder/delay plus
+	// epoch-windowed partitions and crash-restarts.
+	FaultConfig = transport.FaultConfig
+	// PartitionWindow splits the node set in two for a range of fault
+	// epochs (the daemon engine advances one epoch per tick).
+	PartitionWindow = transport.PartitionWindow
+	// CrashWindow takes one node down for a range of fault epochs; its
+	// persistent connections are severed at the crash and redialed with
+	// backoff after the restart.
+	CrashWindow = transport.CrashWindow
+)
+
+// WithTransportFaults injects a seeded fault plan between the gossip
+// cluster and the transport. Transport engines only (Run rejects other
+// engines); the fault epoch advances once per tick, so PartitionWindow
+// and CrashWindow ranges are tick ranges. The resulting
+// Result.Transport.Faults carries the injection ledger.
+func WithTransportFaults(cfg FaultConfig) RunnerOption {
+	return func(r *Runner) { r.faults = &cfg }
+}

@@ -4,6 +4,7 @@ import (
 	"regcast/internal/core"
 	"regcast/internal/graph"
 	"regcast/internal/phonecall"
+	"regcast/internal/transport"
 	"regcast/internal/xrand"
 )
 
@@ -70,6 +71,12 @@ const (
 	// shard count (not the worker count) determines the trace.
 	DefaultShards = phonecall.DefaultShards
 )
+
+// ErrTransportClosed is the sentinel the transport engines' Send returns
+// after shutdown (test with errors.Is). Chaos drops are NOT errors —
+// gossip tolerates loss, and the daemon degrades gracefully — so this is
+// the only send failure a transport-engine run surfaces.
+var ErrTransportClosed = transport.ErrClosed
 
 // NewRand returns a deterministic PRNG seeded with seed. Split it to derive
 // independent streams (topology generation vs. the run itself).
