@@ -160,11 +160,13 @@ type cellDefaults struct {
 
 // popWorkload is one value of the populations grid's workload axis: a
 // population protocol at a concrete size (leader election on an n-clique,
-// or Herman's ring with k initial tokens).
+// Herman's ring with k initial tokens, or approximate majority from an
+// initial X-fraction).
 type popWorkload struct {
-	kind   string // "leader" | "herman"
+	kind   string // "leader" | "herman" | "majority"
 	n      int
-	tokens int // herman only: initial equally-spaced tokens
+	tokens int     // herman only: initial equally-spaced tokens
+	frac   float64 // majority only: initial X-fraction
 }
 
 // buildPopulationCell is the populations grid's BuildPopulation: it
@@ -191,6 +193,8 @@ func buildPopulationCell(p regcast.Point) (regcast.PopulationBatch, error) {
 			return regcast.PopulationBatch{}, err
 		}
 		sc.Ring, sc.Init = hm, init
+	case "majority":
+		sc.Pair, sc.Init = regcast.NewApproxMajority(), regcast.InitMajority(w.frac)
 	default:
 		return regcast.PopulationBatch{}, fmt.Errorf("unknown population workload %q", w.kind)
 	}
@@ -198,8 +202,10 @@ func buildPopulationCell(p regcast.Point) (regcast.PopulationBatch, error) {
 }
 
 // populationAxis builds the populations grid's workload axis: a
-// leader-election n-sweep followed by a Herman token-count sweep.
-func populationAxis(leaderNs []int, hermanN int, tokens []int) regcast.Axis {
+// leader-election n-sweep, a Herman token-count sweep, and an
+// approximate-majority margin sweep (the full table+counts fast-path
+// workload).
+func populationAxis(leaderNs []int, hermanN int, tokens []int, majorityN int, fracs []float64) regcast.Axis {
 	ax := regcast.Axis{Name: "workload"}
 	for _, n := range leaderNs {
 		ax.Values = append(ax.Values, regcast.Val(fmt.Sprintf("leader-n%d", n),
@@ -208,6 +214,10 @@ func populationAxis(leaderNs []int, hermanN int, tokens []int) regcast.Axis {
 	for _, k := range tokens {
 		ax.Values = append(ax.Values, regcast.Val(fmt.Sprintf("herman-n%d-k%d", hermanN, k),
 			popWorkload{kind: "herman", n: hermanN, tokens: k}))
+	}
+	for _, f := range fracs {
+		ax.Values = append(ax.Values, regcast.Val(fmt.Sprintf("majority-n%d-x%d", majorityN, int(f*100)),
+			popWorkload{kind: "majority", n: majorityN, frac: f}))
 	}
 	return ax
 }
@@ -310,11 +320,12 @@ var grids = map[string]grid{
 		// The interaction-scheduler grid: convergence metrics instead of
 		// broadcast metrics (rounds = mean convergence super-step,
 		// transmissions = interactions to convergence), same report schema.
-		about: "population protocols: leader-election n-sweep + Herman token sweep",
+		about: "population protocols: leader n-sweep + Herman tokens + majority margins",
 		reps:  5,
 		axes: []regcast.Axis{populationAxis(
 			[]int{1 << 8, 1 << 9, 1 << 10, 1 << 11},
-			101, []int{3, 5, 9, 17})},
+			101, []int{3, 5, 9, 17},
+			1<<11, []float64{0.51, 0.55, 0.75})},
 		pop: true,
 	},
 }

@@ -15,7 +15,7 @@ import (
 func TestPopulationsGridDeterministicAcrossRepWorkers(t *testing.T) {
 	g := grid{
 		reps: 3,
-		axes: []regcast.Axis{populationAxis([]int{128, 256}, 51, []int{3, 5})},
+		axes: []regcast.Axis{populationAxis([]int{128, 256}, 51, []int{3, 5}, 256, []float64{0.6})},
 		pop:  true,
 	}
 	var want []byte
@@ -31,8 +31,8 @@ func TestPopulationsGridDeterministicAcrossRepWorkers(t *testing.T) {
 		}
 		if i == 0 {
 			want = buf.Bytes()
-			if len(report.Cells) != 4 {
-				t.Fatalf("%d cells, want 4", len(report.Cells))
+			if len(report.Cells) != 5 {
+				t.Fatalf("%d cells, want 5", len(report.Cells))
 			}
 			for _, c := range report.Cells {
 				if c.Completed == 0 {

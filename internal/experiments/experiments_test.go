@@ -12,12 +12,21 @@ func TestRegistryComplete(t *testing.T) {
 	if len(all) < 15 {
 		t.Fatalf("registry has %d experiments, want >= 15", len(all))
 	}
-	// IDs must be contiguous E1..E<len> so docs and benches stay in sync.
+	// IDs must be ascending without unexplained gaps so docs and benches
+	// stay in sync. E23 is deliberately absent from the registry: the
+	// implicit-topology experiment is measured by hand with
+	// cmd/broadcast-sim (wall-clock and bytes, which the deterministic
+	// harness omits) — see the DESIGN.md experiment index.
+	next := 1
 	for i, e := range all {
-		wantID := "E" + itoa(i+1)
+		if next == 23 {
+			next++ // E23: hand-measured, documented in DESIGN.md/EXPERIMENTS.md
+		}
+		wantID := "E" + itoa(next)
 		if e.ID != wantID {
 			t.Errorf("experiment %d has id %s, want %s", i, e.ID, wantID)
 		}
+		next++
 		if e.Title == "" || e.PaperClaim == "" || e.Run == nil {
 			t.Errorf("%s is missing metadata", e.ID)
 		}

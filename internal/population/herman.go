@@ -47,6 +47,12 @@ func (p *Herman) Update(self, pred State, coin uint64) State {
 	return pred & 1
 }
 
+// StateBound implements RingTableProtocol: states are the single bit.
+func (p *Herman) StateBound() int { return 2 }
+
+// CoinBits implements RingTableProtocol: Update consults one coin bit.
+func (p *Herman) CoinBits() int { return 1 }
+
 // Measure implements RingProtocol: the number of tokens.
 func (p *Herman) Measure(cfg []State) int {
 	n := len(cfg)

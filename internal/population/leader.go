@@ -126,13 +126,12 @@ func (p *LeaderElection) Transition(a, b State, coin uint64) (State, State) {
 	return leState(la, va, ta), leState(lb, vb, tb)
 }
 
-// Measure implements PairProtocol: the number of leaders.
+// Measure implements PairProtocol: the number of leaders. The scan is
+// branchless — it runs once per super-step over the full configuration.
 func (p *LeaderElection) Measure(cfg []State) int {
 	leaders := 0
 	for _, s := range cfg {
-		if s&leRoleBit != 0 {
-			leaders++
-		}
+		leaders += int(s & leRoleBit)
 	}
 	return leaders
 }
@@ -157,4 +156,77 @@ func InitLeaderless(i, n int, coin uint64) State {
 // draw the maximum rank.
 func InitPoisoned(i, n int, coin uint64) State {
 	return leState(false, leValMask, leTimMask)
+}
+
+// ApplyPairs implements BatchProtocol: the Transition logic inlined over
+// a pre-drawn block, so the engine's fast path pays no interface call
+// per interaction. Two reshapings keep the loop lean: the rank epidemic
+// compares value bits in packed position (masking instead of the
+// decode/re-encode round-trip), and data-dependent selects compile to
+// conditional moves — the rank comparison and role bits are coin flips
+// during the epidemic phase, so branches here would mispredict half the
+// time. Observationally identical to per-pair Transition —
+// TestLeaderApplyPairsMatchesTransition and the fast≡reference matrix
+// pin that.
+func (p *LeaderElection) ApplyPairs(states []State, pairs []PairDraw) (changed int) {
+	const valBits = leValMask << leValShift
+	timeout := State(p.timeout)
+	for j := range pairs {
+		d := pairs[j]
+		a := states[d.A]
+		b := states[d.B]
+
+		// Rank epidemic with initiator-wins tie-break, on in-place
+		// value bits.
+		av := a & valBits
+		bv := b & valBits
+		mv := av
+		if bv > mv {
+			mv = bv
+		}
+		la := a&leRoleBit != 0 && av == mv
+		lb := b&leRoleBit != 0 && bv == mv && !la
+		noLeader := !la && !lb
+
+		// Timer: aged min for follower-only pairs, 0 when a leader is
+		// present (t stays 0 through the !noLeader lane, which also
+		// disarms the timeout below — timeout is at least 16).
+		ta := (a >> leTimShift) & leTimMask
+		tb := (b >> leTimShift) & leTimMask
+		if tb < ta {
+			ta = tb
+		}
+		ta += b2s(ta < leTimMask)
+		var t State
+		if noLeader {
+			t = ta
+		}
+
+		// Timeout promotion, thinned to probability 1/16; each agent
+		// slices its own half of the coin word.
+		base := mv | t<<leTimShift
+		ca := State(uint32(d.Coin))
+		cb := State(uint32(d.Coin >> 32))
+		na := base | b2s(la)
+		if t >= timeout && ca&0xF == 0 {
+			na = leRoleBit | (ca>>4&leValMask)<<leValShift
+		}
+		nb := base | b2s(lb)
+		if t >= timeout && cb&0xF == 0 {
+			nb = leRoleBit | (cb>>4&leValMask)<<leValShift
+		}
+
+		states[d.A] = na
+		states[d.B] = nb
+		changed += b2i(na != a) + b2i(nb != b)
+	}
+	return changed
+}
+
+// b2s is b2i for State-typed bit arithmetic.
+func b2s(b bool) State {
+	if b {
+		return 1
+	}
+	return 0
 }

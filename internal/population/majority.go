@@ -1,0 +1,106 @@
+// Approximate majority (the three-state "undecided-state dynamics" of
+// Angluin, Aspnes, Eisenstat, DISC 2007): agents hold opinion X,
+// opinion Y, or are blank/undecided. When two opposing opinions meet
+// the responder goes blank; a blank responder adopts the initiator's
+// opinion. The population converges to consensus on the initial
+// majority opinion with high probability in O(n log n) interactions,
+// even against a bounded adversary — the canonical fast, robust
+// population-protocol computation.
+//
+// The protocol is the showcase workload for the engine's table fast
+// path: three states, deterministic transitions (CoinBits 0), so the
+// whole dynamics compiles into a 16-entry lookup table, and the
+// progress measure factors through the occupancy vector, so the
+// per-super-step Measure is three counter reads instead of an O(n)
+// scan.
+
+package population
+
+// ApproxMajority state values. Blank is the zero state so that a nil
+// Init starts an all-blank (inert) population.
+const (
+	MajBlank State = 0 // undecided
+	MajX     State = 1 // opinion X
+	MajY     State = 2 // opinion Y
+)
+
+// ApproxMajority is the three-state approximate-majority PairProtocol.
+// It is stateless; the zero value is ready to use.
+type ApproxMajority struct{}
+
+// NewApproxMajority builds the protocol.
+func NewApproxMajority() *ApproxMajority { return &ApproxMajority{} }
+
+// Name implements PairProtocol.
+func (p *ApproxMajority) Name() string { return "approx-majority" }
+
+// Transition implements PairProtocol: the initiator converts the
+// responder — an opposing opinion to blank, a blank to the initiator's
+// opinion. The initiator never changes, and the coin word is unused
+// (the dynamics are deterministic given the pair).
+func (p *ApproxMajority) Transition(a, b State, coin uint64) (State, State) {
+	switch {
+	case a == MajX && b == MajY, a == MajY && b == MajX:
+		return a, MajBlank
+	case b == MajBlank && a != MajBlank:
+		return a, a
+	default:
+		return a, b
+	}
+}
+
+// Measure implements PairProtocol: the number of distinct opinion
+// classes present (X-holders, Y-holders, blanks), so 1 means consensus
+// — every agent holds the same opinion, or every agent is blank.
+func (p *ApproxMajority) Measure(cfg []State) int {
+	var have [3]bool
+	for _, s := range cfg {
+		have[s&3] = true
+	}
+	m := 0
+	for _, h := range have {
+		if h {
+			m++
+		}
+	}
+	return m
+}
+
+// StateBound implements TableProtocol and CountsProtocol.
+func (p *ApproxMajority) StateBound() int { return 3 }
+
+// CoinBits implements TableProtocol: the transition is deterministic.
+func (p *ApproxMajority) CoinBits() int { return 0 }
+
+// MeasureCounts implements CountsProtocol: Measure from the occupancy
+// vector in three reads.
+func (p *ApproxMajority) MeasureCounts(counts []int64) int {
+	m := 0
+	for _, c := range counts {
+		if c > 0 {
+			m++
+		}
+	}
+	return m
+}
+
+// InitMajority builds an initial configuration with ⌈frac·n⌉ agents
+// holding X and the rest holding Y — frac barely above ½ is the
+// adversarial close-race start where approximate majority must still
+// pick the (slim) majority with high probability. frac is clamped to
+// [0, 1].
+func InitMajority(frac float64) func(i, n int, coin uint64) State {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return func(i, n int, coin uint64) State {
+		// ⌈frac·n⌉ X-agents, deterministically, by index threshold.
+		if float64(i) < frac*float64(n) {
+			return MajX
+		}
+		return MajY
+	}
+}

@@ -127,6 +127,13 @@ type Config struct {
 	Workers int // sched worker goroutines; 0 or 1 inline, WorkersAuto = GOMAXPROCS
 	Shards  int // shard count (fixes the trace); 0 means sched.DefaultShards
 
+	// DisableFastPath forces the reference interface-dispatch path even
+	// when the protocol is table-compilable. The fast path is bit-identical
+	// to the reference path (the fastpath tests pin this), so the switch
+	// exists for cross-validation and benchmarking, not as a correctness
+	// escape hatch — the same discipline as the phone-call engine's flag.
+	DisableFastPath bool
+
 	Observer Observer    // optional per-super-step (and per-interaction) hook
 	Halt     func() bool // optional cooperative cancellation, polled per step
 }
@@ -151,13 +158,16 @@ type Result struct {
 // this many consecutive super-steps before the run halts.
 const DefaultSilenceWindow = 3
 
-// pairDraw is one pre-drawn interaction: the ordered pair and its coin
+// PairDraw is one pre-drawn interaction: the ordered pair and its coin
 // word. Draws are state-independent, which is what lets the drawing
-// phase run concurrently while transitions apply sequentially.
-type pairDraw struct {
-	a, b int32
-	coin uint64
-}
+// phase run concurrently while transitions apply sequentially. The type
+// is xrand's batched draw record, so the fast path's FillPairDraws block
+// sampler, the reference scalar loop, and BatchProtocol.ApplyPairs all
+// share the same buffers.
+type PairDraw = xrand.PairDraw
+
+// pairDraw is the engine-internal spelling of PairDraw.
+type pairDraw = PairDraw
 
 // popShard owns one slice of each super-step's work: a contiguous
 // interaction quota [qlo, qhi) for the pair driver, the contiguous agent
@@ -179,6 +189,19 @@ type engine struct {
 	workers int
 
 	interactions int64
+
+	// Fast-path state; see fastpath.go for the compilation rules. fast
+	// selects the batched-draw/specialised-apply step functions; the
+	// remaining fields engage independently per protocol capability.
+	fast        bool
+	table       []uint64 // compiled pair transition table (nil = interface dispatch)
+	tshift      uint32   // state index shift: entry index is ((a<<tshift)|b)<<tcoin | coin bits
+	tcoin       uint32   // coin bits folded into the table index
+	counts      []int64  // incremental occupancy vector (nil = O(n) measure scan)
+	countsProto CountsProtocol
+	batch       BatchProtocol // devirtualised whole-block apply (nil = per-pair dispatch)
+	ringNeeds   []bool        // compiled RingProtocol.NeedsCoin table
+	ringUpd     []State       // compiled RingProtocol.Update table
 }
 
 // Run executes one population-protocol run to convergence, silence, or
@@ -253,12 +276,25 @@ func newEngine(cfg Config) (*engine, error) {
 		sh.stream = cfg.RNG.Split()
 		sh.qlo, sh.qhi = sched.Bounds(i, cfg.BatchSize, cfg.Shards)
 		sh.lo, sh.hi = sched.Bounds(i, e.n, cfg.Shards)
+		if cfg.Pair != nil {
+			// Preallocate the interaction quota once, here, so no super-step
+			// — first included — grows the buffer via append: the engine's
+			// steady state is allocation-free (the fastpath tests guard it).
+			sh.pairs = make([]pairDraw, 0, sh.qhi-sh.qlo)
+		}
 	}
 	e.workers = sched.Resolve(cfg.Workers, cfg.Shards)
+	e.compileFastPath()
 	return e, nil
 }
 
 func (e *engine) measure() int {
+	if e.counts != nil {
+		// The incremental occupancy vector is kept exact under Init and
+		// every applied transition, so the O(states) fold replaces the
+		// O(n) scan with the same value (the cross-check test pins this).
+		return e.countsProto.MeasureCounts(e.counts)
+	}
 	if e.cfg.Pair != nil {
 		return e.cfg.Pair.Measure(e.states)
 	}
@@ -339,8 +375,13 @@ func (e *engine) run() Result {
 // interaction quota from its own stream (concurrently when Workers > 1),
 // then the coordinator applies all drawn transitions sequentially in
 // shard order. Because draws are state-independent, both phases produce
-// the same trace at every worker count.
+// the same trace at every worker count. When the fast path is compiled
+// (fastpath.go) both phases run their batched/devirtualised twins —
+// bit-identical, so the dispatch here is invisible in every trace.
 func (e *engine) pairStep(step int) (interactions, changed int) {
+	if e.fast {
+		return e.fastPairStep(step)
+	}
 	if e.workers <= 1 {
 		for i := range e.shards {
 			e.drawPairs(&e.shards[i])
@@ -348,24 +389,31 @@ func (e *engine) pairStep(step int) (interactions, changed int) {
 	} else {
 		sched.Pool(e.workers, len(e.shards), func(i int) { e.drawPairs(&e.shards[i]) })
 	}
+	return e.applyPairs(step)
+}
 
+// applyPairs is the reference apply phase: one interface call per drawn
+// interaction, in shard order. The fast path reuses it verbatim when an
+// InteractionObserver is attached (the per-interaction callback dominates
+// the loop there anyway).
+func (e *engine) applyPairs(step int) (interactions, changed int) {
 	iobs, _ := e.cfg.Observer.(InteractionObserver)
 	proto := e.cfg.Pair
 	for i := range e.shards {
 		for _, d := range e.shards[i].pairs {
-			sa, sb := e.states[d.a], e.states[d.b]
-			na, nb := proto.Transition(sa, sb, d.coin)
+			sa, sb := e.states[d.A], e.states[d.B]
+			na, nb := proto.Transition(sa, sb, d.Coin)
 			if na != sa {
-				e.states[d.a] = na
+				e.states[d.A] = na
 				changed++
 			}
 			if nb != sb {
-				e.states[d.b] = nb
+				e.states[d.B] = nb
 				changed++
 			}
 			interactions++
 			if iobs != nil {
-				iobs.OnInteraction(step, int(d.a), int(d.b))
+				iobs.OnInteraction(step, int(d.A), int(d.B))
 			}
 		}
 	}
@@ -384,7 +432,7 @@ func (e *engine) drawPairs(sh *popShard) {
 		if b >= a {
 			b++
 		}
-		sh.pairs = append(sh.pairs, pairDraw{a: int32(a), b: int32(b), coin: sh.stream.Uint64()})
+		sh.pairs = append(sh.pairs, pairDraw{A: int32(a), B: int32(b), Coin: sh.stream.Uint64()})
 	}
 }
 
@@ -393,11 +441,18 @@ func (e *engine) drawPairs(sh *popShard) {
 // writes, so passes may run concurrently), drawing coin words from its
 // stream only where the protocol flips one; then the buffers swap.
 func (e *engine) ringStep() (interactions, changed int) {
-	if e.workers <= 1 {
+	switch {
+	case e.ringUpd != nil && e.workers <= 1:
+		for i := range e.shards {
+			e.ringPassTable(&e.shards[i])
+		}
+	case e.ringUpd != nil:
+		sched.Pool(e.workers, len(e.shards), func(i int) { e.ringPassTable(&e.shards[i]) })
+	case e.workers <= 1:
 		for i := range e.shards {
 			e.ringPass(&e.shards[i])
 		}
-	} else {
+	default:
 		sched.Pool(e.workers, len(e.shards), func(i int) { e.ringPass(&e.shards[i]) })
 	}
 	for i := range e.shards {

@@ -95,6 +95,100 @@ func (r *Rand) Int63() int64 {
 	return int64(r.Uint64() >> 1)
 }
 
+// PairDraw is one pre-drawn ordered-pair interaction: two distinct values
+// in [0, n) and a raw 64-bit coin word. It is the record type of the
+// population engine's batched draw path (FillPairDraws); the fields are
+// int32 to keep the record at 16 bytes, one quarter of a cache line.
+type PairDraw struct {
+	A, B int32
+	Coin uint64
+}
+
+// step256 advances one xoshiro256★★ state held in locals and returns the
+// output word plus the successor state. It is the register-resident twin
+// of (*Rand).Uint64 — same update, same output — written as a pure
+// function of values so batched samplers can keep the generator state in
+// registers across a whole block instead of loading and storing the four
+// state words through the Rand pointer on every draw. Any change to
+// Uint64 must be mirrored here (TestFillPairDrawsMatchesScalar pins the
+// equivalence).
+func step256(s0, s1, s2, s3 uint64) (res, t0, t1, t2, t3 uint64) {
+	res = bits.RotateLeft64(s1*5, 7) * 9
+	t := s1 << 17
+	s2 ^= s0
+	s3 ^= s1
+	s1 ^= s2
+	s0 ^= s3
+	s2 ^= t
+	s3 = bits.RotateLeft64(s3, 45)
+	return res, s0, s1, s2, s3
+}
+
+// lemire maps a raw 64-bit word onto [0, n) by Lemire's multiply-shift,
+// reporting whether the draw landed in the rejection window (lo < n) and
+// must be resolved by lemireReject. Split from the rejection loop so the
+// batched samplers keep the overwhelmingly common accept case branch-free
+// and inline.
+func lemire(x, n uint64) (v, lo uint64) {
+	hi, lo := bits.Mul64(x, n)
+	return hi, lo
+}
+
+// FillPairDraws fills dst with ordered pairs of distinct values in
+// [0, n) — uniform over the n·(n−1) ordered pairs — plus one raw coin
+// word each, consuming the stream EXACTLY as the per-element sequence
+//
+//	a := r.IntN(n); b := r.IntN(n-1); if b >= a { b++ }; coin := r.Uint64()
+//
+// would: same draws, same values, in the same order, including Lemire
+// rejection re-draws. Callers can therefore switch between the scalar
+// loop and this batched one without changing a run's trace. The batching
+// win is mechanical: the xoshiro state lives in registers for the whole
+// block and the two Lemire reductions inline, instead of three
+// pointer-bound generator calls per element. It panics if n < 2.
+func (r *Rand) FillPairDraws(dst []PairDraw, n int) {
+	if n < 2 {
+		panic(fmt.Sprintf("xrand: FillPairDraws called with n=%d", n))
+	}
+	un := uint64(n)
+	un1 := un - 1
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for i := range dst {
+		var x uint64
+		x, s0, s1, s2, s3 = step256(s0, s1, s2, s3)
+		a, lo := lemire(x, un)
+		if lo < un { // rejection window: resolve with scalar re-draws
+			r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+			a = r.lemireReject(a, lo, un)
+			s0, s1, s2, s3 = r.s0, r.s1, r.s2, r.s3
+		}
+		x, s0, s1, s2, s3 = step256(s0, s1, s2, s3)
+		b, lo := lemire(x, un1)
+		if lo < un1 {
+			r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+			b = r.lemireReject(b, lo, un1)
+			s0, s1, s2, s3 = r.s0, r.s1, r.s2, r.s3
+		}
+		if b >= a {
+			b++
+		}
+		var coin uint64
+		coin, s0, s1, s2, s3 = step256(s0, s1, s2, s3)
+		dst[i] = PairDraw{A: int32(a), B: int32(b), Coin: coin}
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
+// lemireReject resolves a Lemire draw that landed in the rejection
+// window, exactly as the tail of Uint64N does.
+func (r *Rand) lemireReject(hi, lo, n uint64) uint64 {
+	thresh := -n % n
+	for lo < thresh {
+		hi, lo = bits.Mul64(r.Uint64(), n)
+	}
+	return hi
+}
+
 // IntN returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *Rand) IntN(n int) int {
 	if n <= 0 {

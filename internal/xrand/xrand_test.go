@@ -368,3 +368,37 @@ func BenchmarkDistinctK4of16(b *testing.B) {
 		dst = r.DistinctK(dst, 4, 16, scratch)
 	}
 }
+
+// TestFillPairDrawsMatchesScalar pins the batched pair sampler to the
+// scalar draw sequence it documents: same stream consumption, same
+// values, same final generator state. Small n values make Lemire
+// rejections (probability n/2^64 per draw) unreachable either way, so
+// the equivalence being tested is the register-resident step/reduce
+// pipeline, including the b >= a adjustment.
+func TestFillPairDrawsMatchesScalar(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 100, 1 << 20} {
+		batched := New(uint64(n) * 77)
+		scalar := New(uint64(n) * 77)
+
+		dst := make([]PairDraw, 257)
+		batched.FillPairDraws(dst, n)
+		for i, d := range dst {
+			a := scalar.IntN(n)
+			b := scalar.IntN(n - 1)
+			if b >= a {
+				b++
+			}
+			coin := scalar.Uint64()
+			if int(d.A) != a || int(d.B) != b || d.Coin != coin {
+				t.Fatalf("n=%d draw %d: batched (%d,%d,%x) != scalar (%d,%d,%x)",
+					n, i, d.A, d.B, d.Coin, a, b, coin)
+			}
+			if d.A == d.B {
+				t.Fatalf("n=%d draw %d: pair not distinct", n, i)
+			}
+		}
+		if b0, s0 := batched.Uint64(), scalar.Uint64(); b0 != s0 {
+			t.Fatalf("n=%d: stream positions diverged after the block", n)
+		}
+	}
+}

@@ -40,6 +40,33 @@ type (
 	// HermanRing is Herman's self-stabilizing token ring (synchronous
 	// coin-flip variant).
 	HermanRing = population.Herman
+	// ApproxMajority is the three-state approximate-majority protocol
+	// (undecided-state dynamics) — the showcase workload for the
+	// population engine's table fast path.
+	ApproxMajority = population.ApproxMajority
+
+	// TablePairProtocol is the optional PairProtocol extension that lets
+	// the engine compile Transition into a dense lookup table; see
+	// population.TableProtocol for the StateBound/CoinBits contract.
+	TablePairProtocol = population.TableProtocol
+	// CountsPairProtocol is the optional measure-through-occupancy
+	// extension: the engine maintains an exact per-state occupancy vector
+	// and folds it with MeasureCounts instead of scanning all n agents.
+	CountsPairProtocol = population.CountsProtocol
+	// BatchPairProtocol is the devirtualisation hook for protocols whose
+	// state space is too large to table-compile: ApplyPairs applies a
+	// whole pre-drawn block in one loop.
+	BatchPairProtocol = population.BatchProtocol
+	// RingTableProtocol is the table extension for ring protocols.
+	RingTableProtocol = population.RingTableProtocol
+)
+
+// Approximate-majority state values (facade names for the population
+// package's constants).
+const (
+	MajorityBlank = population.MajBlank
+	MajorityX     = population.MajX
+	MajorityY     = population.MajY
 )
 
 // NewLeaderElection builds the self-stabilizing leader-election protocol
@@ -51,6 +78,17 @@ func NewLeaderElection(n int) (*LeaderElection, error) {
 // NewHermanRing builds Herman's token ring for an odd n-agent ring.
 func NewHermanRing(n int) (*HermanRing, error) {
 	return population.NewHerman(n)
+}
+
+// NewApproxMajority builds the three-state approximate-majority
+// protocol.
+func NewApproxMajority() *ApproxMajority { return population.NewApproxMajority() }
+
+// InitMajority builds an initial configuration with ceil(frac*n) agents
+// holding opinion X and the rest opinion Y; frac barely above 1/2 is
+// the adversarial close-race start.
+func InitMajority(frac float64) func(i, n int, coin uint64) PopulationState {
+	return population.InitMajority(frac)
 }
 
 // InitAllLeaders is the canonical adversarial start for leader election:
@@ -151,18 +189,19 @@ func (r Runner) runPopulation(ctx context.Context, s PopulationScenario) (Popula
 		rng = NewRand(s.Seed)
 	}
 	res, err := population.Run(population.Config{
-		N:             s.N,
-		Pair:          s.Pair,
-		Ring:          s.Ring,
-		Init:          s.Init,
-		RNG:           rng,
-		MaxSteps:      s.MaxSteps,
-		BatchSize:     s.BatchSize,
-		SilenceWindow: s.SilenceWindow,
-		Workers:       workers,
-		Shards:        r.shards,
-		Observer:      s.Observer,
-		Halt:          haltFor(ctx),
+		N:               s.N,
+		Pair:            s.Pair,
+		Ring:            s.Ring,
+		Init:            s.Init,
+		RNG:             rng,
+		MaxSteps:        s.MaxSteps,
+		BatchSize:       s.BatchSize,
+		SilenceWindow:   s.SilenceWindow,
+		Workers:         workers,
+		Shards:          r.shards,
+		DisableFastPath: r.noFastPath || r.noPopFastPath,
+		Observer:        s.Observer,
+		Halt:            haltFor(ctx),
 	})
 	if err != nil {
 		return PopulationResult{}, err

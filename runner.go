@@ -77,7 +77,10 @@ type Runner struct {
 	shards     int
 	mailbox    int
 	noFastPath bool
-	faults     *transport.FaultConfig
+	// noPopFastPath disables only the population engine's fast path;
+	// noFastPath disables every engine's.
+	noPopFastPath bool
+	faults        *transport.FaultConfig
 }
 
 // RunnerOption customises a Runner.
@@ -117,6 +120,17 @@ func WithMailbox(n int) RunnerOption { return func(r *Runner) { r.mailbox = n } 
 // the switch exists for cross-validation and benchmarking, not as a
 // correctness escape hatch.
 func WithoutFastPath() RunnerOption { return func(r *Runner) { r.noFastPath = true } }
+
+// WithoutPopulationFastPath forces population scenarios onto the
+// reference interface-dispatch path (per-pair Transition calls, O(n)
+// measure scans, no compiled tables) while leaving the phone-call
+// engines' fast path alone. Like WithoutFastPath, it exists for
+// cross-validation and benchmarking — the population fast path is
+// pinned bit-identical to the reference path, so results never depend
+// on it.
+func WithoutPopulationFastPath() RunnerOption {
+	return func(r *Runner) { r.noPopFastPath = true }
+}
 
 // NewRunner builds a Runner; with no options it runs the classic
 // sequential engine.

@@ -52,6 +52,10 @@ type (
 	Graph = graph.Graph
 	// Rand is the deterministic splittable PRNG that drives every engine.
 	Rand = xrand.Rand
+	// PairDraw is one pre-drawn population interaction (ordered pair plus
+	// coin word) — the record type of the population engine's batched draw
+	// path and of BatchPairProtocol kernels.
+	PairDraw = xrand.PairDraw
 )
 
 const (
